@@ -1,0 +1,214 @@
+// Command nifdy-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nifdy-bench -exp all                 # everything, reduced scale
+//	nifdy-bench -exp f2 -full            # Figure 2 at paper scale (1M cycles)
+//	nifdy-bench -exp t3sweep -net mesh   # parameter sweep for one network
+//
+// Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
+// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
+//
+// Reduced scale (the default) keeps every experiment under roughly a minute
+// on a laptop; -full uses the paper's budgets (Figure 2/3: 1,000,000 cycles;
+// full graphs and block sizes elsewhere). Shapes — who wins and by roughly
+// what factor — are the target, not absolute numbers (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nifdy"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,all)")
+		full = flag.Bool("full", false, "paper-scale budgets instead of reduced")
+		seed = flag.Uint64("seed", 1995, "experiment seed")
+		net  = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
+	)
+	flag.Parse()
+
+	run := func(id string) {
+		start := time.Now()
+		switch id {
+		case "t2":
+			fmt.Println(nifdy.Table2())
+		case "t3":
+			fmt.Println(nifdy.Table3(*seed))
+		case "t3sweep":
+			spec, ok := netByName(*net)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown network %q\n", *net)
+				os.Exit(2)
+			}
+			o := nifdy.SweepOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			res := nifdy.Table3Sweep(spec, o)
+			fmt.Printf("== Parameter sweep: %s (best first) ==\n", spec.Name)
+			for i, r := range res {
+				if i >= 10 {
+					break
+				}
+				fmt.Printf("O=%-2d B=%-2d W=%-2d  delivered=%d\n", r.Params.O, r.Params.B, r.Params.W, r.Delivered)
+			}
+		case "f2":
+			tbl := nifdy.Figure2(synthOpts(*full, *seed))
+			fmt.Println(tbl)
+			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
+		case "f3":
+			tbl := nifdy.Figure3(synthOpts(*full, *seed))
+			fmt.Println(tbl)
+			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
+		case "f4":
+			o := nifdy.Figure4Opts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+				o.Levels = []int{2, 3, 4}
+			}
+			b, oo := nifdy.Figure4(o)
+			fmt.Println(b)
+			fmt.Println(oo)
+		case "f5":
+			o := cshiftOpts(*full, *seed)
+			without, with := nifdy.Figure5(o)
+			fmt.Println("== Figure 5: pending packets per receiver (C-shift, no barriers) ==")
+			fmt.Println("-- without NIFDY --")
+			fmt.Print(without)
+			fmt.Println("-- with NIFDY --")
+			fmt.Print(with)
+		case "f6":
+			tbl := nifdy.Figure6(cshiftOpts(*full, *seed))
+			fmt.Println(tbl)
+			fmt.Println(tbl.Chart("words/1000cyc", 0, 4))
+		case "f7":
+			fmt.Println(nifdy.EM3D(em3dOpts(*full, *seed, false)))
+		case "f8":
+			fmt.Println(nifdy.EM3D(em3dOpts(*full, *seed, true)))
+		case "f9":
+			o := nifdy.RadixOpts{Seed: *seed}
+			if !*full {
+				o.Nodes = 16
+				o.Buckets = 128
+			}
+			fmt.Println(nifdy.Figure9(o))
+		case "coalesce":
+			o := nifdy.RadixOpts{Seed: *seed}
+			if !*full {
+				o.Nodes = 16
+				o.Buckets = 128
+			}
+			fmt.Println(nifdy.RadixCoalesce(o))
+		case "lossy":
+			o := nifdy.LossyOpts{Seed: *seed}
+			if !*full {
+				o.Messages = 10
+			}
+			fmt.Println(nifdy.ExtLossy(o))
+		case "acks":
+			o := nifdy.AckOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			fmt.Println(nifdy.ExtAckStrategies(o))
+		case "piggyback":
+			o := nifdy.AckOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			fmt.Println(nifdy.ExtPiggyback(o))
+		case "adaptive":
+			o := nifdy.AckOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			fmt.Println(nifdy.ExtAdaptiveMesh(o))
+		case "hotspot":
+			o := nifdy.AckOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			fmt.Println(nifdy.ExtHotspot(o))
+		case "faults":
+			o := nifdy.AckOpts{Seed: *seed}
+			if *full {
+				o.Cycles = 1_000_000
+			}
+			fmt.Println(nifdy.ExtFaults(o))
+		case "model":
+			fmt.Println(nifdy.ModelCheck(nifdy.ModelCheckOpts{Seed: *seed}))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"t2", "t3", "model", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "coalesce", "lossy", "acks", "piggyback", "adaptive", "hotspot", "faults"} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}
+
+func synthOpts(full bool, seed uint64) nifdy.SynthOpts {
+	o := nifdy.SynthOpts{Seed: seed}
+	if !full {
+		o.Cycles = 150_000
+	}
+	return o
+}
+
+func cshiftOpts(full bool, seed uint64) nifdy.CShiftOpts {
+	o := nifdy.CShiftOpts{Seed: seed}
+	if !full {
+		o.Levels = 2
+		o.BlockWords = 60
+		o.MaxCycles = 10_000_000
+		o.Samples = 400
+	}
+	return o
+}
+
+func em3dOpts(full bool, seed uint64, heavy bool) nifdy.EM3DOpts {
+	o := nifdy.EM3DOpts{Seed: seed, Heavy: heavy}
+	if !full {
+		o.ScaleGraph = 10
+		o.Iters = 1
+		o.Networks = []nifdy.NetSpec{nifdy.FullFatTree(), nifdy.CM5FatTree(), nifdy.Mesh2D(), nifdy.Butterfly()}
+	}
+	return o
+}
+
+func netByName(name string) (nifdy.NetSpec, bool) {
+	switch name {
+	case "mesh":
+		return nifdy.Mesh2D(), true
+	case "mesh3d":
+		return nifdy.Mesh3D(), true
+	case "torus":
+		return nifdy.Torus2D(), true
+	case "fattree":
+		return nifdy.FullFatTree(), true
+	case "sf":
+		return nifdy.SFFatTree(), true
+	case "cm5":
+		return nifdy.CM5FatTree(), true
+	case "butterfly":
+		return nifdy.Butterfly(), true
+	case "multibutterfly":
+		return nifdy.Multibutterfly(), true
+	}
+	return nifdy.NetSpec{}, false
+}

@@ -1,0 +1,38 @@
+// C-shift study: reproduces the paper's §4.3 story at a glance. The cyclic
+// shift all-to-all is run on a CM-5-style fat tree four ways — plain NIC
+// with and without barriers, buffers-only, and NIFDY — then the Figure 5
+// congestion heatmaps are rendered: pending packets per receiver over time,
+// showing pile-ups dissipating under NIFDY's admission control. Run with:
+//
+//	go run ./examples/cshift [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nifdy"
+)
+
+func main() {
+	full := flag.Bool("full", false, "64-node network and larger blocks")
+	flag.Parse()
+
+	opts := nifdy.CShiftOpts{Levels: 2, BlockWords: 30, MaxCycles: 20_000_000, Samples: 20_000}
+	if *full {
+		opts = nifdy.CShiftOpts{} // defaults: 64 nodes, paper-ish scale
+	}
+
+	fmt.Println(nifdy.Figure6(opts))
+
+	without, with := nifdy.Figure5(opts)
+	fmt.Println("Figure 5: pending packets per receiver over time (darker = more backlog)")
+	fmt.Println("\n-- without NIFDY, no barriers --")
+	fmt.Print(without)
+	fmt.Println("\n-- with NIFDY, no barriers --")
+	fmt.Print(with)
+	fmt.Println("\nReading the maps: without NIFDY, early finishers pile onto busy")
+	fmt.Println("receivers and the dark bands persist; with NIFDY the \"rightful\"")
+	fmt.Println("sender holds the bulk dialog, perturbations dissipate, and the run")
+	fmt.Println("ends sooner (§4.3).")
+}

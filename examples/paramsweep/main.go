@@ -1,0 +1,55 @@
+// Parameter sweep: how the paper's Table 3 "best NIFDY parameters" were
+// found. For a chosen network, every (O, B, W) combination is scored by the
+// average of heavy- and light-traffic delivery, and the ranking is printed
+// alongside the network's characteristics — low-volume, low-bisection
+// fabrics want small O/B/W; roomy fat trees tolerate generous settings
+// (§2.4.3, §4.1). Run with:
+//
+//	go run ./examples/paramsweep [-net mesh|torus|fattree|sf|cm5|butterfly|multibutterfly] [-cycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nifdy"
+)
+
+func main() {
+	netName := flag.String("net", "mesh", "network to tune")
+	cycles := flag.Int64("cycles", 100_000, "cycles per sweep point (paper scale: 1000000)")
+	flag.Parse()
+
+	specs := map[string]nifdy.NetSpec{
+		"mesh":           nifdy.Mesh2D(),
+		"torus":          nifdy.Torus2D(),
+		"mesh3d":         nifdy.Mesh3D(),
+		"fattree":        nifdy.FullFatTree(),
+		"sf":             nifdy.SFFatTree(),
+		"cm5":            nifdy.CM5FatTree(),
+		"butterfly":      nifdy.Butterfly(),
+		"multibutterfly": nifdy.Multibutterfly(),
+	}
+	spec, ok := specs[*netName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+
+	net := spec.Build(1, nifdy.IfaceOptions{})
+	fmt.Printf("network: %v\n\n", net.Chars())
+	fmt.Printf("adopted parameters (Table 3): O=%d B=%d D=%d W=%d\n\n",
+		spec.Params.O, spec.Params.B, spec.Params.D, spec.Params.W)
+
+	results := nifdy.Table3Sweep(spec, nifdy.SweepOpts{Cycles: *cycles})
+	fmt.Println("sweep ranking (heavy+light delivered packets, best first):")
+	for i, r := range results {
+		marker := " "
+		if r.Params.O == spec.Params.O && r.Params.B == spec.Params.B && r.Params.W == spec.Params.W {
+			marker = "*" // the adopted Table 3 point
+		}
+		fmt.Printf("%s %2d. O=%-2d B=%-2d W=%-2d  %d\n", marker, i+1, r.Params.O, r.Params.B, r.Params.W, r.Delivered)
+	}
+	fmt.Println("\n(* marks the parameters this repository adopts for the network)")
+}

@@ -1,0 +1,3 @@
+module nifdy
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package em3d implements the communication kernel of EM3D, the
+// three-dimensional electromagnetics benchmark of [CDG+93] used in the
+// paper's §4.4. A bipartite graph of E and H nodes is distributed across
+// processors; each iteration, every processor pushes one value per remote
+// edge to the edge's owner, in 6-word packets, with a global barrier per
+// iteration. The graph generator follows the benchmark's parameters:
+//
+//	n_nodes   — graph nodes per processor
+//	d_nodes   — edges (degree) per graph node
+//	local_p   — percentage of edges that stay on-processor
+//	dist_span — remote edges land within ±dist_span processors
+//
+// Figure 7 uses (200, 10, 80, 5): mostly-local, light communication.
+// Figure 8 uses (100, 20, 3, 20): almost every edge remote, heavy
+// communication. Values to the same remote processor are batched into
+// multi-packet messages by the message layer, which models the in-order
+// delivery payoff exactly as package cshift does.
+package em3d
+
+import (
+	"nifdy/internal/msg"
+	"nifdy/internal/node"
+	"nifdy/internal/packet"
+	"nifdy/internal/rng"
+)
+
+// Config parameterizes an EM3D run.
+type Config struct {
+	// Nodes is the machine size P.
+	Nodes int
+	// NNodes, DNodes, LocalP, DistSpan are the graph parameters above.
+	NNodes, DNodes, LocalP, DistSpan int
+	// Iters is the number of simulated iterations; zero selects 3.
+	Iters int
+	// Words is the packet size; zero selects 6.
+	Words int
+	// InOrder marks the message layer as relying on in-order delivery.
+	InOrder bool
+	// Bulk lets multi-packet messages request bulk dialogs.
+	Bulk bool
+	// Seed drives graph generation.
+	Seed uint64
+}
+
+// Light returns Figure 7's graph parameters ("less communication") for n
+// processors.
+func Light(n int, seed uint64) Config {
+	return Config{Nodes: n, NNodes: 200, DNodes: 10, LocalP: 80, DistSpan: 5, Seed: seed}
+}
+
+// Heavy returns Figure 8's parameters ("more communication").
+func Heavy(n int, seed uint64) Config {
+	return Config{Nodes: n, NNodes: 100, DNodes: 20, LocalP: 3, DistSpan: 20, Seed: seed}
+}
+
+func (c *Config) defaults() {
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	if c.Words == 0 {
+		c.Words = 6
+	}
+}
+
+// App holds the distributed graph's communication schedule.
+type App struct {
+	cfg   Config
+	layer *msg.Layer
+	bar   *node.Barrier
+	// sendWords[i] maps destination -> value words per iteration.
+	sendWords []map[int]int
+	// expect[i] is the packets processor i receives per iteration.
+	expect []int
+	// pktsPerIter[i] is the packets processor i sends per iteration.
+	pktsPerIter []int
+	recvd       []int
+}
+
+// New generates the graph and returns the app.
+func New(cfg Config, ids *packet.IDSource) *App {
+	cfg.defaults()
+	mcfg := msg.Config{Words: cfg.Words, InOrder: cfg.InOrder, BulkThreshold: 3}
+	if !cfg.Bulk {
+		mcfg.BulkThreshold = -1
+	}
+	a := &App{cfg: cfg, layer: msg.New(mcfg, ids), bar: node.NewBarrier(cfg.Nodes),
+		recvd: make([]int, cfg.Nodes), expect: make([]int, cfg.Nodes),
+		pktsPerIter: make([]int, cfg.Nodes)}
+	a.sendWords = make([]map[int]int, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		r := rng.NewStream(cfg.Seed^0xE3D, uint64(i))
+		m := map[int]int{}
+		for gn := 0; gn < cfg.NNodes; gn++ {
+			for e := 0; e < cfg.DNodes; e++ {
+				if r.Intn(100) < cfg.LocalP {
+					continue // local edge: no communication
+				}
+				off := r.IntRange(1, cfg.DistSpan)
+				if r.Bool(0.5) {
+					off = -off
+				}
+				dst := ((i+off)%cfg.Nodes + cfg.Nodes) % cfg.Nodes
+				if dst != i {
+					m[dst]++
+				}
+			}
+		}
+		a.sendWords[i] = m
+	}
+	for i, m := range a.sendWords {
+		for dst, words := range m {
+			n := a.layer.Config().PacketsFor(words)
+			a.pktsPerIter[i] += n
+			a.expect[dst] += n
+		}
+	}
+	return a
+}
+
+func (a *App) payload() int { return a.layer.Config().Payload() }
+
+// RemoteEdges reports the total remote edges (communication volume check).
+func (a *App) RemoteEdges() int {
+	total := 0
+	for _, m := range a.sendWords {
+		for _, w := range m {
+			total += w
+		}
+	}
+	return total
+}
+
+// PacketsPerIteration reports the machine-wide packets sent each iteration.
+func (a *App) PacketsPerIteration() int {
+	total := 0
+	for _, n := range a.pktsPerIter {
+		total += n
+	}
+	return total
+}
+
+// Program returns node n's program: per iteration, push every remote edge
+// value grouped by destination, drain arrivals, and join the barrier.
+func (a *App) Program(n int) node.Program {
+	cfg := a.cfg
+	// Deterministic destination order: ascending offset from self.
+	var order []int
+	for off := 1; off < cfg.Nodes; off++ {
+		dst := (n + off) % cfg.Nodes
+		if a.sendWords[n][dst] > 0 {
+			order = append(order, dst)
+		}
+	}
+	return func(p *node.Proc) {
+		count := func(*packet.Packet) { a.recvd[n]++ }
+		for it := 0; it < cfg.Iters; it++ {
+			for _, dst := range order {
+				a.layer.SendBlock(p, dst, a.sendWords[n][dst], count)
+			}
+			// Absorb this iteration's inbound volume, then synchronize.
+			for a.recvd[n] < (it+1)*a.expect[n] {
+				p.Recv()
+				a.recvd[n]++
+			}
+			p.Barrier(a.bar, count)
+		}
+	}
+}

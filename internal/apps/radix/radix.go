@@ -1,0 +1,150 @@
+// Package radix implements the communication phases of the radix sort of
+// [Dus94] used in the paper's §4.5.
+//
+// Scan: a prefix sum across processors for every bucket of the radix. With
+// an 8-bit radix there are 256 bucket counts; packed into 6-word packets
+// they form a K-packet pipeline along the processor line: processor i
+// receives partial sums from i-1, adds its own counts, and forwards to i+1.
+// The paper's key observation: without artificial delays between
+// consecutive sends, an upstream processor can swamp its successor — the
+// receiver never gets a chance to send and the whole scan serializes.
+// NIFDY's one-outstanding-packet protocol imposes exactly the right pacing
+// automatically (Figure 9).
+//
+// Coalesce: every key is sent to its destination processor as a one-packet
+// message to a pseudo-random destination. There is little congestion and no
+// ordering requirement, so NIFDY neither helps nor hurts (§4.5).
+package radix
+
+import (
+	"nifdy/internal/node"
+	"nifdy/internal/packet"
+	"nifdy/internal/rng"
+	"nifdy/internal/sim"
+)
+
+// Config parameterizes the radix-sort phases.
+type Config struct {
+	// Nodes is the machine size P.
+	Nodes int
+	// Buckets is 2^radix; zero selects 256 (8-bit radix, §4.5).
+	Buckets int
+	// Words is the packet size; zero selects 6.
+	Words int
+	// Delay inserts this many cycles between consecutive scan sends (the
+	// "With Delay" variant of Figure 9).
+	Delay sim.Cycle
+	// KeysPerNode is the coalesce-phase key count per processor; zero
+	// selects 128.
+	KeysPerNode int
+	// Seed drives the coalesce key distribution.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Buckets == 0 {
+		c.Buckets = 256
+	}
+	if c.Words == 0 {
+		c.Words = 6
+	}
+	if c.KeysPerNode == 0 {
+		c.KeysPerNode = 128
+	}
+}
+
+// App builds scan or coalesce programs.
+type App struct {
+	cfg Config
+	ids *packet.IDSource
+	// K is the scan pipeline depth in packets.
+	K int
+	// coalesce bookkeeping
+	expect []int
+	recvd  []int
+	bar    *node.Barrier
+}
+
+// New returns a radix app.
+func New(cfg Config, ids *packet.IDSource) *App {
+	cfg.defaults()
+	if ids == nil {
+		ids = &packet.IDSource{}
+	}
+	a := &App{cfg: cfg, ids: ids, bar: node.NewBarrier(cfg.Nodes)}
+	countsPerPkt := cfg.Words - 2 // header + bucket-range tag
+	a.K = (cfg.Buckets + countsPerPkt - 1) / countsPerPkt
+	a.expect = make([]int, cfg.Nodes)
+	a.recvd = make([]int, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		r := rng.NewStream(cfg.Seed^0x4AD1, uint64(i))
+		for k := 0; k < cfg.KeysPerNode; k++ {
+			a.expect[r.Intn(cfg.Nodes)]++
+		}
+	}
+	return a
+}
+
+// ScanPackets reports the pipeline depth K.
+func (a *App) ScanPackets() int { return a.K }
+
+// ScanProgram returns node n's scan-phase program.
+func (a *App) ScanProgram(n int) node.Program {
+	cfg := a.cfg
+	K := a.K
+	return func(p *node.Proc) {
+		send := func(j int) {
+			pk := &packet.Packet{ID: a.ids.Next(), Src: n, Dst: n + 1,
+				Words: cfg.Words, Class: packet.Request, Dialog: packet.NoDialog,
+				Meta: packet.Meta{Index: j, Total: K}}
+			p.Send(pk)
+			if cfg.Delay > 0 {
+				p.Consume(cfg.Delay)
+			}
+		}
+		switch {
+		case n == 0:
+			for j := 0; j < K; j++ {
+				send(j)
+			}
+		case n == cfg.Nodes-1:
+			for j := 0; j < K; j++ {
+				p.Recv()
+			}
+		default:
+			for j := 0; j < K; j++ {
+				p.Recv() // partial sums for packet j from upstream
+				send(j)  // add local counts, forward downstream
+			}
+		}
+	}
+}
+
+// CoalesceProgram returns node n's coalesce-phase program: one single-packet
+// message per key to its destination processor.
+func (a *App) CoalesceProgram(n int) node.Program {
+	cfg := a.cfg
+	return func(p *node.Proc) {
+		r := rng.NewStream(cfg.Seed^0x4AD1, uint64(n))
+		for k := 0; k < cfg.KeysPerNode; k++ {
+			dst := r.Intn(cfg.Nodes)
+			if dst == n {
+				a.recvd[n]++ // local key, no packet
+				continue
+			}
+			pk := &packet.Packet{ID: a.ids.Next(), Src: n, Dst: dst,
+				Words: cfg.Words, Class: packet.Request, Dialog: packet.NoDialog,
+				Meta: packet.Meta{Value: uint64(k)}}
+			p.Send(pk)
+			for p.HasPending() {
+				p.Recv()
+				a.recvd[n]++
+			}
+		}
+		for a.recvd[n] < a.expect[n] {
+			p.Recv()
+			a.recvd[n]++
+		}
+		p.Barrier(a.bar, func(*packet.Packet) { a.recvd[n]++ })
+	}
+}

@@ -1,0 +1,197 @@
+// Package harness wires complete experiments: a network fabric, one NIC per
+// node (plain, buffers-only, or NIFDY), processor programs, and statistics —
+// and implements one entry point per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index).
+package harness
+
+import (
+	"fmt"
+
+	"nifdy/internal/core"
+	"nifdy/internal/nic"
+	"nifdy/internal/node"
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+	"nifdy/internal/stats"
+	"nifdy/internal/topo"
+)
+
+// NICKind selects the interface configuration under comparison (§3, §4.1).
+type NICKind int
+
+const (
+	// Plain is the bare NIC: one outgoing slot, two arrival slots.
+	Plain NICKind = iota
+	// BuffersOnly has NIFDY's total buffering but no protocol.
+	BuffersOnly
+	// NIFDY is the full unit from internal/core.
+	NIFDY
+)
+
+func (k NICKind) String() string {
+	switch k {
+	case Plain:
+		return "none"
+	case BuffersOnly:
+		return "buffers"
+	case NIFDY:
+		return "NIFDY"
+	default:
+		return fmt.Sprintf("NICKind(%d)", int(k))
+	}
+}
+
+// BuildOpts describes one simulation.
+type BuildOpts struct {
+	// Net builds the fabric.
+	Net NetSpec
+	// Kind selects the NIC.
+	Kind NICKind
+	// Params are the NIFDY parameters (also sizes the buffers-only NIC for
+	// a fair comparison). Zero values take the spec's tuned parameters.
+	Params core.Config
+	// Costs models software overheads; zero selects node.CM5Costs.
+	Costs node.Costs
+	// Program supplies per-node application code; nil builds no processors
+	// (the caller pumps NICs directly).
+	Program func(n int) node.Program
+	// PendingInterval enables pending-per-receiver sampling (Figure 5).
+	PendingInterval sim.Cycle
+	// Seed parameterizes fabric adaptivity and loss.
+	Seed uint64
+	// Drop enables the lossy-fabric model.
+	Drop float64
+}
+
+// Sim is a wired simulation.
+type Sim struct {
+	Eng     *sim.Engine
+	Net     topo.Network
+	NICs    []nic.NIC
+	Procs   []*node.Proc
+	Pending *stats.Pending
+	IDs     *packet.IDSource
+
+	stopped bool
+}
+
+// Build wires a simulation from opts.
+func Build(opts BuildOpts) *Sim {
+	if opts.Costs == (node.Costs{}) {
+		opts.Costs = node.CM5Costs()
+	}
+	ifOpts := topo.IfaceOptions{DropProb: opts.Drop, Seed: opts.Seed}
+	net := opts.Net.Build(opts.Seed, ifOpts)
+	s := &Sim{
+		Eng: sim.New(), Net: net,
+		Pending: stats.NewPending(net.Nodes(), opts.PendingInterval),
+		IDs:     &packet.IDSource{},
+	}
+	net.RegisterRouters(s.Eng)
+	if opts.PendingInterval > 0 {
+		s.Eng.Register(s.Pending)
+	}
+	hooks := s.Pending.Hooks()
+	params := opts.Params
+	if isZeroParams(params) {
+		params = opts.Net.Params
+	}
+	for n := 0; n < net.Nodes(); n++ {
+		var nc nic.NIC
+		switch opts.Kind {
+		case Plain:
+			nc = nic.NewBasic(nic.BasicConfig{Node: n, OutBuf: 1, ArrBuf: 2, Hooks: hooks}, net.Iface(n))
+		case BuffersOnly:
+			// Same total buffering as the NIFDY unit, redistributed with at
+			// least half on the arrivals side (§3).
+			total := params.TotalBuffers()
+			arr := (total + 1) / 2
+			nc = nic.NewBasic(nic.BasicConfig{Node: n, OutBuf: total - arr, ArrBuf: arr, Hooks: hooks}, net.Iface(n))
+		case NIFDY:
+			cfg := params
+			cfg.Node = n
+			cfg.IDs = s.IDs
+			cfg.Hooks = hooks
+			nc = core.New(cfg, net.Iface(n))
+		default:
+			panic("harness: unknown NIC kind")
+		}
+		s.Eng.Register(nc)
+		s.NICs = append(s.NICs, nc)
+	}
+	if opts.Program != nil {
+		for n := 0; n < net.Nodes(); n++ {
+			prog := opts.Program(n)
+			if prog == nil {
+				continue // node has no program: its NIC still ticks
+			}
+			p := node.NewProc(n, s.NICs[n], opts.Costs, prog)
+			s.Eng.Register(p)
+			s.Procs = append(s.Procs, p)
+			p.Start()
+		}
+	}
+	return s
+}
+
+// isZeroParams reports whether the caller left the NIFDY parameters unset.
+func isZeroParams(c core.Config) bool {
+	return c.O == 0 && c.B == 0 && c.D == 0 && c.W == 0 && !c.AckOnArrival &&
+		!c.PerPacketBulkAcks && !c.Piggyback && !c.Retransmit
+}
+
+// Close stops all processor goroutines. Safe to call repeatedly.
+func (s *Sim) Close() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, p := range s.Procs {
+		p.Stop()
+	}
+}
+
+// Done reports whether every processor finished.
+func (s *Sim) Done() bool {
+	for _, p := range s.Procs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilDone steps until all programs finish or max cycles elapse,
+// reporting success and the final cycle.
+func (s *Sim) RunUntilDone(max sim.Cycle) (bool, sim.Cycle) {
+	ok := s.Eng.RunUntil(s.Done, max)
+	return ok, s.Eng.Now()
+}
+
+// Accepted reports total packets accepted by processors.
+func (s *Sim) Accepted() int64 {
+	var total int64
+	for _, nc := range s.NICs {
+		total += nc.Stats().Accepted
+	}
+	return total
+}
+
+// AggregateStats sums all NIC counters.
+func (s *Sim) AggregateStats() nic.Stats {
+	var a nic.Stats
+	for _, nc := range s.NICs {
+		st := nc.Stats()
+		a.Sent += st.Sent
+		a.Accepted += st.Accepted
+		a.Injected += st.Injected
+		a.AcksSent += st.AcksSent
+		a.AcksReceived += st.AcksReceived
+		a.BulkGrants += st.BulkGrants
+		a.BulkRejects += st.BulkRejects
+		a.BulkPackets += st.BulkPackets
+		a.Retransmits += st.Retransmits
+		a.Duplicates += st.Duplicates
+	}
+	return a
+}

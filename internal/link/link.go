@@ -1,0 +1,124 @@
+// Package link models the physical channels of the simulated networks:
+// fixed-latency wires and byte-serial flit links.
+//
+// Link widths follow the paper (§3): most networks use 1-byte-wide links, so
+// a one-word (32-bit) flit occupies a link for 4 cycles; the CM-5 fat-tree
+// variant uses 4-bit links time-multiplexed between the request and reply
+// networks, giving each logical network one flit per 16 cycles.
+package link
+
+import "nifdy/internal/sim"
+
+// Wire is a fixed-latency, in-order event pipe. Events sent at cycle t are
+// receivable at cycle t+latency (minimum 1, so that a Tick-phase send is
+// never visible to a same-cycle Tick elsewhere).
+type Wire[T any] struct {
+	latency sim.Cycle
+	events  []timed[T]
+	head    int
+}
+
+type timed[T any] struct {
+	at sim.Cycle
+	v  T
+}
+
+// NewWire returns a Wire with the given latency in cycles (values below 1
+// are raised to 1).
+func NewWire[T any](latency int) *Wire[T] {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Wire[T]{latency: sim.Cycle(latency)}
+}
+
+// Latency reports the wire delay in cycles.
+func (w *Wire[T]) Latency() int { return int(w.latency) }
+
+// Send schedules v for arrival at now+latency.
+func (w *Wire[T]) Send(now sim.Cycle, v T) {
+	w.SendAt(now+w.latency, v)
+}
+
+// SendAt schedules v for arrival at cycle at (which must not precede already
+// scheduled arrivals; callers in this repository always send monotonically).
+func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
+	if n := len(w.events); n > 0 && w.events[n-1].at > at {
+		panic("link: out-of-order SendAt")
+	}
+	w.events = append(w.events, timed[T]{at, v})
+}
+
+// Recv pops the oldest event whose arrival time has come. ok is false when
+// nothing has arrived yet.
+func (w *Wire[T]) Recv(now sim.Cycle) (v T, ok bool) {
+	if w.head >= len(w.events) || w.events[w.head].at > now {
+		// Compact the consumed prefix once it dominates the slice.
+		if w.head > 64 && w.head*2 >= len(w.events) {
+			n := copy(w.events, w.events[w.head:])
+			for i := n; i < len(w.events); i++ {
+				w.events[i] = timed[T]{}
+			}
+			w.events = w.events[:n]
+			w.head = 0
+		}
+		return v, false
+	}
+	v = w.events[w.head].v
+	w.events[w.head] = timed[T]{}
+	w.head++
+	return v, true
+}
+
+// Pending reports events not yet received.
+func (w *Wire[T]) Pending() int { return len(w.events) - w.head }
+
+// Link is a byte-serial channel carrying one-word flits. A flit transmission
+// occupies the link for CyclesPerFlit cycles; the flit becomes receivable
+// when its last byte has crossed, CyclesPerFlit+latency-1 cycles after the
+// send (minimum 1).
+type Link[T any] struct {
+	wire          *Wire[T]
+	cyclesPerFlit sim.Cycle
+	busyUntil     sim.Cycle
+	sent          int64
+}
+
+// NewLink returns a Link with the given serialization time per flit and wire
+// latency, both in cycles.
+func NewLink[T any](cyclesPerFlit, latency int) *Link[T] {
+	if cyclesPerFlit < 1 {
+		cyclesPerFlit = 1
+	}
+	return &Link[T]{wire: NewWire[T](latency), cyclesPerFlit: sim.Cycle(cyclesPerFlit)}
+}
+
+// CyclesPerFlit reports the serialization time of one flit.
+func (l *Link[T]) CyclesPerFlit() int { return int(l.cyclesPerFlit) }
+
+// CanSend reports whether the link is idle this cycle.
+func (l *Link[T]) CanSend(now sim.Cycle) bool { return now >= l.busyUntil }
+
+// Send transmits one flit; the link stays busy for CyclesPerFlit cycles.
+// Callers must check CanSend first.
+func (l *Link[T]) Send(now sim.Cycle, f T) {
+	if !l.CanSend(now) {
+		panic("link: Send while busy")
+	}
+	l.busyUntil = now + l.cyclesPerFlit
+	at := now + l.cyclesPerFlit + l.wire.latency - 1
+	if at <= now {
+		at = now + 1
+	}
+	l.wire.SendAt(at, f)
+	l.sent++
+}
+
+// Recv pops the oldest flit that has fully arrived.
+func (l *Link[T]) Recv(now sim.Cycle) (T, bool) { return l.wire.Recv(now) }
+
+// Pending reports flits in flight.
+func (l *Link[T]) Pending() int { return l.wire.Pending() }
+
+// Sent reports the total number of flits ever sent (utilization stats).
+func (l *Link[T]) Sent() int64 { return l.sent }

@@ -1,0 +1,124 @@
+// Package model implements the paper's analytical performance model (§2.4):
+// the pairwise bandwidth bound without NIFDY (Equation 1), the scalar-mode
+// round-trip constraint (Equation 2), and the bulk window sizing rules for
+// combined and per-packet acknowledgments (Equations 3 and 4, §2.4.2).
+// The harness uses it to sanity-check simulator measurements, and
+// examples/paramsweep-style tuning can start from its estimates, exactly as
+// §2.4.3 walks through for the 8x8 mesh and the 64-node fat tree.
+package model
+
+import "nifdy/internal/sim"
+
+// Params are the network and software characteristics of Table 1.
+type Params struct {
+	// TSend and TRecv are the processor send/receive software overheads.
+	TSend, TRecv sim.Cycle
+	// TLink is the time for one packet to cross a link absent contention
+	// (the hardware bandwidth limit on inter-packet arrival times): packet
+	// bytes divided by link bytes/cycle.
+	TLink sim.Cycle
+	// TAckProc is the latency to generate and process an ack at both ends.
+	TAckProc sim.Cycle
+	// Lat returns the one-way latency for a packet across d hops.
+	Lat func(d int) sim.Cycle
+}
+
+// MeshLat returns the paper's simulated-mesh latency model TLat(d) = 4d+14
+// (§2.4.3).
+func MeshLat(d int) sim.Cycle { return sim.Cycle(4*d + 14) }
+
+// FatTreeLat returns the paper's fat-tree latency model TLat(d) = 5d+2.
+func FatTreeLat(d int) sim.Cycle { return sim.Cycle(5*d + 2) }
+
+// LinkTime returns TLink for a packet of words 32-bit words over a link of
+// width bytes per cycle, in cycles.
+func LinkTime(words int, widthBytesPerCycle float64) sim.Cycle {
+	return sim.Cycle(float64(words*4) / widthBytesPerCycle)
+}
+
+// PairBandwidth is Equation 1: the no-NIFDY bandwidth ceiling between two
+// nodes, in payload words per cycle, for packets of w payload words.
+//
+//	Bandwidth = w / max(TSend, TRecv, TLink)
+func (p Params) PairBandwidth(payloadWords int) float64 {
+	return float64(payloadWords) / float64(p.bottleneck())
+}
+
+func (p Params) bottleneck() sim.Cycle {
+	m := p.TSend
+	if p.TRecv > m {
+		m = p.TRecv
+	}
+	if p.TLink > m {
+		m = p.TLink
+	}
+	return m
+}
+
+// RoundTrip is Equation 2: the scalar-mode packet-to-ack latency across d
+// hops.
+//
+//	T_roundtrip(d) = 2 T_lat(d) + T_ackproc
+func (p Params) RoundTrip(d int) sim.Cycle {
+	return 2*p.Lat(d) + p.TAckProc
+}
+
+// ScalarSufficient reports whether the basic (no-dialog) NIFDY protocol
+// already sustains full pairwise bandwidth at distance d (§2.4.1):
+//
+//	T_roundtrip(d) <= max(TSend, TRecv, TLink)
+func (p Params) ScalarSufficient(d int) bool {
+	return p.RoundTrip(d) <= p.bottleneck()
+}
+
+// WindowCombined is Equation 3's window size: with one combined ack per W/2
+// packets, full bandwidth at distance d needs the round trip to fit in the
+// injection time of W/2+1 packets:
+//
+//	W >= 2 (T_roundtrip(d)/T_bottleneck - 1)
+//
+// The result is rounded up to the next even integer and is at least 2.
+func (p Params) WindowCombined(d int) int {
+	return evenCeil(2 * (float64(p.RoundTrip(d))/float64(p.bottleneck()) - 1))
+}
+
+// WindowPerPacket is Equation 4's bound for a window acknowledging every
+// packet as it is received:
+//
+//	W >= T_roundtrip(d)/T_bottleneck
+func (p Params) WindowPerPacket(d int) int {
+	w := intCeil(float64(p.RoundTrip(d)) / float64(p.bottleneck()))
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+func evenCeil(v float64) int {
+	w := intCeil(v)
+	if w < 2 {
+		return 2
+	}
+	if w%2 != 0 {
+		w++
+	}
+	return w
+}
+
+func intCeil(v float64) int {
+	w := int(v)
+	if float64(w) < v {
+		w++
+	}
+	return w
+}
+
+// CM5Params returns the §2.4.3 working parameters for a given latency model
+// and packet size in words over 1-byte links.
+func CM5Params(lat func(int) sim.Cycle, packetWords int) Params {
+	return Params{
+		TSend: 40, TRecv: 60, TAckProc: 4,
+		TLink: LinkTime(packetWords, 1),
+		Lat:   lat,
+	}
+}

@@ -1,0 +1,175 @@
+// Package nic defines the network interface controllers that sit between a
+// processor and the fabric: the interface all NICs satisfy, and the
+// protocol-less baselines the paper compares NIFDY against — a plain NIC
+// with minimal buffering, and a "buffers only" NIC that has NIFDY's total
+// buffering but none of its admission control (§3: "An option allows the
+// NIFDY units to be included but disabled... This allows us to separate the
+// effects of the NIFDY protocol itself from the benefit of simply having
+// extra buffering").
+//
+// The NIFDY NIC itself lives in internal/core.
+package nic
+
+import (
+	"nifdy/internal/packet"
+	"nifdy/internal/router"
+	"nifdy/internal/sim"
+)
+
+// Stats counts NIC-level events.
+type Stats struct {
+	// Sent counts data packets the processor handed to the NIC; Accepted
+	// counts data packets the processor pulled out.
+	Sent, Accepted int64
+	// Injected counts data packets that entered the fabric.
+	Injected int64
+	// AcksSent and AcksReceived count protocol acknowledgments.
+	AcksSent, AcksReceived int64
+	// BulkGrants, BulkRejects, and BulkPackets count bulk-dialog activity.
+	BulkGrants, BulkRejects, BulkPackets int64
+	// Retransmits counts retransmitted copies; Duplicates counts copies the
+	// receiver discarded (lossy-network extension).
+	Retransmits, Duplicates int64
+}
+
+// Hooks let the harness observe packet lifecycle events (e.g. the Figure 5
+// pending-per-receiver heatmap tracks Send/Accept).
+type Hooks struct {
+	// OnSend fires when the processor hands a data packet to the NIC.
+	OnSend func(p *packet.Packet)
+	// OnAccept fires when the processor accepts a data packet.
+	OnAccept func(p *packet.Packet)
+}
+
+// Send fires OnSend if set.
+func (h Hooks) Send(p *packet.Packet) {
+	if h.OnSend != nil {
+		h.OnSend(p)
+	}
+}
+
+// Accept fires OnAccept if set.
+func (h Hooks) Accept(p *packet.Packet) {
+	if h.OnAccept != nil {
+		h.OnAccept(p)
+	}
+}
+
+// NIC is the processor's view of its network interface. A NIC owns its
+// router.Iface and ticks it; processors interact only through TrySend/Recv.
+type NIC interface {
+	sim.Ticker
+	// Node reports the node number.
+	Node() int
+	// TrySend hands a data packet to the NIC. It reports false when the NIC
+	// has no buffer space; the processor retries later (backpressure).
+	TrySend(now sim.Cycle, p *packet.Packet) bool
+	// Recv pops the next data packet for the processor, if any. Protocol
+	// packets (acks) are consumed internally and never surface here.
+	Recv(now sim.Cycle) (*packet.Packet, bool)
+	// Pending reports data packets ready for the processor.
+	Pending() int
+	// Idle reports whether the NIC holds no unsent or unacknowledged work
+	// (used for drain/termination checks).
+	Idle() bool
+	// Stats exposes counters.
+	Stats() *Stats
+}
+
+// BasicConfig sizes a Basic NIC.
+type BasicConfig struct {
+	// Node is the node number.
+	Node int
+	// OutBuf is the outgoing FIFO capacity in packets (minimum 1).
+	OutBuf int
+	// ArrBuf is the arrivals FIFO capacity in packets (minimum 1).
+	ArrBuf int
+	// Hooks observe packet events.
+	Hooks Hooks
+}
+
+// Basic is a protocol-less NIC: a strict-FIFO outgoing queue and a bounded
+// arrivals queue. With OutBuf=1, ArrBuf=2 it models the paper's "no NIFDY"
+// baseline; sized to NIFDY's total buffering (at least half on the arrivals
+// side, per §3) it models the "buffers only" baseline.
+type Basic struct {
+	cfg   BasicConfig
+	iface *router.Iface
+	out   []*packet.Packet
+	arr   []*packet.Packet
+	stats Stats
+}
+
+// NewBasic returns a Basic NIC attached to iface.
+func NewBasic(cfg BasicConfig, iface *router.Iface) *Basic {
+	if cfg.OutBuf < 1 {
+		cfg.OutBuf = 1
+	}
+	if cfg.ArrBuf < 1 {
+		cfg.ArrBuf = 1
+	}
+	return &Basic{cfg: cfg, iface: iface}
+}
+
+// Node implements NIC.
+func (b *Basic) Node() int { return b.cfg.Node }
+
+// Stats implements NIC.
+func (b *Basic) Stats() *Stats { return &b.stats }
+
+// TrySend implements NIC.
+func (b *Basic) TrySend(now sim.Cycle, p *packet.Packet) bool {
+	if len(b.out) >= b.cfg.OutBuf {
+		return false
+	}
+	p.CreatedAt = now
+	b.out = append(b.out, p)
+	b.stats.Sent++
+	b.cfg.Hooks.Send(p)
+	return true
+}
+
+// Recv implements NIC.
+func (b *Basic) Recv(now sim.Cycle) (*packet.Packet, bool) {
+	if len(b.arr) == 0 {
+		return nil, false
+	}
+	p := b.arr[0]
+	b.arr[0] = nil
+	b.arr = b.arr[1:]
+	p.AcceptedAt = now
+	b.stats.Accepted++
+	b.cfg.Hooks.Accept(p)
+	return p, true
+}
+
+// Pending implements NIC.
+func (b *Basic) Pending() int { return len(b.arr) }
+
+// Idle implements NIC.
+func (b *Basic) Idle() bool {
+	return len(b.out) == 0 && len(b.arr) == 0 &&
+		b.iface.Sending(packet.Request) == nil && b.iface.Sending(packet.Reply) == nil &&
+		b.iface.PendingFlits() == 0
+}
+
+// Tick implements sim.Ticker: pump the iface, inject the FIFO head if its
+// class slot is free (head-of-line blocking is intentional — it is what the
+// NIFDY pool removes), and pull arrivals while the queue has room.
+func (b *Basic) Tick(now sim.Cycle) {
+	b.iface.Tick(now)
+	if len(b.out) > 0 && b.iface.CanAccept(b.out[0].Class) {
+		p := b.out[0]
+		b.out[0] = nil
+		b.out = b.out[1:]
+		b.iface.StartSend(now, p)
+		b.stats.Injected++
+	}
+	for len(b.arr) < b.cfg.ArrBuf {
+		p, ok := b.iface.Deliver(now, nil)
+		if !ok {
+			break
+		}
+		b.arr = append(b.arr, p)
+	}
+}

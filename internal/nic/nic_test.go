@@ -1,0 +1,189 @@
+package nic
+
+import (
+	"testing"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+	"nifdy/internal/topo/mesh"
+)
+
+func build(t *testing.T, outBuf, arrBuf int) (*sim.Engine, []*Basic, *mesh.Mesh) {
+	t.Helper()
+	m := mesh.New(mesh.Config{Dims: []int{4, 4}})
+	eng := sim.New()
+	m.RegisterRouters(eng)
+	nics := make([]*Basic, 16)
+	for i := range nics {
+		nics[i] = NewBasic(BasicConfig{Node: i, OutBuf: outBuf, ArrBuf: arrBuf}, m.Iface(i))
+		eng.Register(nics[i])
+	}
+	return eng, nics, m
+}
+
+func pkt(id uint64, src, dst int) *packet.Packet {
+	return &packet.Packet{ID: id, Src: src, Dst: dst, Words: 8,
+		Class: packet.Request, Dialog: packet.NoDialog}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	eng, nics, _ := build(t, 2, 2)
+	if !nics[0].TrySend(0, pkt(1, 0, 15)) {
+		t.Fatal("TrySend rejected")
+	}
+	var got *packet.Packet
+	ok := eng.RunUntil(func() bool {
+		p, k := nics[15].Recv(eng.Now())
+		if k {
+			got = p
+		}
+		return got != nil
+	}, 100000)
+	if !ok || got.ID != 1 {
+		t.Fatalf("delivery failed: %v", got)
+	}
+	if got.AcceptedAt == 0 {
+		t.Fatal("AcceptedAt not stamped")
+	}
+}
+
+func TestBasicOutBufCapacity(t *testing.T) {
+	_, nics, _ := build(t, 2, 2)
+	if !nics[0].TrySend(0, pkt(1, 0, 1)) || !nics[0].TrySend(0, pkt(2, 0, 1)) {
+		t.Fatal("sends under capacity rejected")
+	}
+	if nics[0].TrySend(0, pkt(3, 0, 1)) {
+		t.Fatal("send over capacity accepted")
+	}
+}
+
+func TestBasicHeadOfLineBlocking(t *testing.T) {
+	// The FIFO head occupies the class slot; a same-class packet behind it
+	// cannot overtake — the behaviour NIFDY's rank/eligibility pool removes.
+	eng, nics, _ := build(t, 4, 4)
+	nics[0].TrySend(0, pkt(1, 0, 15)) // far destination
+	nics[0].TrySend(0, pkt(2, 0, 1))  // near destination, queued behind
+	var first uint64
+	eng.RunUntil(func() bool {
+		for n := range nics {
+			if p, ok := nics[n].Recv(eng.Now()); ok && first == 0 {
+				first = p.ID
+			}
+		}
+		return first != 0
+	}, 100000)
+	// Even though node 1 is one hop away, packet 1 was injected first; with
+	// a single VC per class on the mesh, packet 2 follows it into the
+	// fabric. The near packet arrives first at its own node, but injection
+	// order is FIFO: packet 1 must have been injected first.
+	if nics[0].Stats().Injected < 2 {
+		t.Fatal("both packets should inject")
+	}
+	if first == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestBasicArrBufBackpressure(t *testing.T) {
+	eng, nics, m := build(t, 1, 2)
+	// Flood node 15 without ever receiving.
+	sent := 0
+	for cyc := 0; cyc < 30000; cyc++ {
+		if sent < 20 && nics[0].TrySend(eng.Now(), pkt(uint64(sent+1), 0, 15)) {
+			sent++
+		}
+		eng.Step()
+	}
+	if sent == 20 {
+		t.Fatal("no backpressure: all 20 packets absorbed by a non-receiving node")
+	}
+	if nics[15].Pending() > 2 {
+		t.Fatalf("arrivals queue overflowed: %d", nics[15].Pending())
+	}
+	// Drain: everything still arrives.
+	got := 0
+	ok := eng.RunUntil(func() bool {
+		if sent < 20 && nics[0].TrySend(eng.Now(), pkt(uint64(sent+1), 0, 15)) {
+			sent++
+		}
+		if _, k := nics[15].Recv(eng.Now()); k {
+			got++
+		}
+		return got == 20
+	}, 500000)
+	if !ok {
+		t.Fatalf("drained %d/20 (fabric holds %d flits)", got, m.BufferedFlits())
+	}
+}
+
+func TestBasicIdle(t *testing.T) {
+	eng, nics, _ := build(t, 2, 2)
+	if !nics[0].Idle() {
+		t.Fatal("fresh NIC not idle")
+	}
+	nics[0].TrySend(0, pkt(1, 0, 15))
+	if nics[0].Idle() {
+		t.Fatal("NIC with queued packet reports idle")
+	}
+	eng.RunUntil(func() bool {
+		_, ok := nics[15].Recv(eng.Now())
+		return ok
+	}, 100000)
+	eng.Run(100)
+	if !nics[0].Idle() || !nics[15].Idle() {
+		t.Fatal("NICs not idle after drain")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	eng, nics, _ := build(t, 2, 2)
+	nics[0].TrySend(0, pkt(1, 0, 15))
+	eng.RunUntil(func() bool {
+		_, ok := nics[15].Recv(eng.Now())
+		return ok
+	}, 100000)
+	if s := nics[0].Stats(); s.Sent != 1 || s.Injected != 1 {
+		t.Fatalf("sender stats %+v", s)
+	}
+	if s := nics[15].Stats(); s.Accepted != 1 {
+		t.Fatalf("receiver stats %+v", s)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	var sends, accepts int
+	h := Hooks{
+		OnSend:   func(*packet.Packet) { sends++ },
+		OnAccept: func(*packet.Packet) { accepts++ },
+	}
+	m := mesh.New(mesh.Config{Dims: []int{4, 4}})
+	eng := sim.New()
+	m.RegisterRouters(eng)
+	nics := make([]*Basic, 16)
+	for i := range nics {
+		nics[i] = NewBasic(BasicConfig{Node: i, OutBuf: 2, ArrBuf: 2, Hooks: h}, m.Iface(i))
+		eng.Register(nics[i])
+	}
+	nics[0].TrySend(0, pkt(1, 0, 15))
+	eng.RunUntil(func() bool {
+		_, ok := nics[15].Recv(eng.Now())
+		return ok
+	}, 100000)
+	if sends != 1 || accepts != 1 {
+		t.Fatalf("hooks: sends=%d accepts=%d", sends, accepts)
+	}
+}
+
+func TestNilHooksSafe(t *testing.T) {
+	var h Hooks
+	h.Send(pkt(1, 0, 1))   // must not panic
+	h.Accept(pkt(1, 0, 1)) // must not panic
+}
+
+func TestMinimumBuffers(t *testing.T) {
+	m := mesh.New(mesh.Config{Dims: []int{4, 4}})
+	b := NewBasic(BasicConfig{Node: 0}, m.Iface(0))
+	if !b.TrySend(0, pkt(1, 0, 1)) {
+		t.Fatal("OutBuf clamped below 1")
+	}
+}

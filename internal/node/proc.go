@@ -1,0 +1,303 @@
+// Package node models the processors attached to the network: software
+// send/receive overheads measured on the CM-5 (Table 2, §2.4.3) and a
+// blocking, goroutine-per-node programming interface in which workloads read
+// like the Split-C/CMAM programs that drove the paper's simulator.
+//
+// Each processor's program runs in its own goroutine and interacts with the
+// simulation through blocking primitives (Send, Recv, Consume, Barrier). The
+// goroutine and the engine alternate via a synchronous rendezvous: at most
+// one program runs at any instant, so workload code may freely touch shared
+// workload state without locks. Reception is by polling only, as in the
+// paper (§3: "only polling message reception is allowed").
+package node
+
+import (
+	"fmt"
+
+	"nifdy/internal/nic"
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+)
+
+// Costs models per-operation software overhead in processor cycles. The
+// defaults follow §2.4.3 and Table 2 (the CM-5 measurements; a couple of
+// Table 2 cells are illegible in the source scan, so the working values the
+// paper itself uses in its analysis are taken instead).
+type Costs struct {
+	// Send is the total software cost of sending a packet (T_send).
+	Send sim.Cycle
+	// Recv is the cost of dispatching, handling, and returning from a
+	// received packet (T_receive).
+	Recv sim.Cycle
+	// Poll is the cost of polling when no message is pending.
+	Poll sim.Cycle
+	// ReorderPenalty is the extra per-packet receive cost when the software
+	// layer must reconstruct transmission order itself (no in-order
+	// delivery). [KC94] measured reordering at up to 30% of transfer time;
+	// the penalty applies to multi-packet transfers on out-of-order fabrics.
+	ReorderPenalty sim.Cycle
+}
+
+// CM5Costs returns the paper's calibration: T_send=40, T_receive=60,
+// poll(empty)=22 (§2.4.3, Table 2), with a default reorder penalty of 30%
+// of the receive cost per [KC94].
+func CM5Costs() Costs {
+	return Costs{Send: 40, Recv: 60, Poll: 22, ReorderPenalty: 18}
+}
+
+// Barrier is an idealized global barrier (the simulator feature of §3:
+// "global barriers can be included between send bursts").
+type Barrier struct {
+	n       int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+type abortSentinel struct{}
+
+// Program is a node's application code.
+type Program func(p *Proc)
+
+// Proc is one simulated processor.
+type Proc struct {
+	id    int
+	nic   nic.NIC
+	costs Costs
+
+	busyUntil sim.Cycle
+	now       sim.Cycle
+	cond      func(sim.Cycle) bool
+	done      bool
+	aborted   bool
+	started   bool
+
+	resume chan sim.Cycle
+	yield  chan struct{}
+
+	// inbox holds packets whose receive handlers already ran (and were
+	// charged) while a send was stalled; Poll serves them first, free.
+	inbox []*packet.Packet
+
+	program Program
+}
+
+// NewProc returns a processor running program on n's NIC. Call Start before
+// the first engine cycle and Stop when the experiment ends.
+func NewProc(id int, n nic.NIC, costs Costs, program Program) *Proc {
+	return &Proc{
+		id: id, nic: n, costs: costs, program: program,
+		resume: make(chan sim.Cycle),
+		yield:  make(chan struct{}),
+	}
+}
+
+// ID reports the node number.
+func (p *Proc) ID() int { return p.id }
+
+// NIC returns the processor's network interface.
+func (p *Proc) NIC() nic.NIC { return p.nic }
+
+// Done reports whether the program has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Start launches the program goroutine (blocked until the first Tick).
+func (p *Proc) Start() {
+	if p.started {
+		panic(fmt.Sprintf("proc %d: double Start", p.id))
+	}
+	p.started = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSentinel); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		p.now = <-p.resume
+		if p.now < 0 {
+			panic(abortSentinel{})
+		}
+		p.program(p)
+	}()
+}
+
+// Stop aborts the program goroutine if it is still blocked. Safe to call
+// after completion.
+func (p *Proc) Stop() {
+	if !p.started || p.done {
+		return
+	}
+	p.aborted = true
+	p.resume <- -1
+	<-p.yield
+}
+
+// Tick implements sim.Ticker: run the program while its blocking condition
+// is satisfied.
+func (p *Proc) Tick(now sim.Cycle) {
+	if !p.started || p.done {
+		return
+	}
+	for !p.done && (p.cond == nil || p.cond(now)) {
+		p.cond = nil
+		p.resume <- now
+		<-p.yield
+	}
+}
+
+// pause blocks the program until cond holds. cond is evaluated by the
+// engine at the start of each cycle.
+func (p *Proc) pause(cond func(sim.Cycle) bool) {
+	p.cond = cond
+	p.yield <- struct{}{}
+	p.now = <-p.resume
+	if p.now < 0 {
+		panic(abortSentinel{})
+	}
+}
+
+// Now reports the current simulated cycle.
+func (p *Proc) Now() sim.Cycle { return p.now }
+
+// Consume models n cycles of local computation.
+func (p *Proc) Consume(n sim.Cycle) {
+	if p.busyUntil < p.now {
+		p.busyUntil = p.now
+	}
+	p.busyUntil += n
+	t := p.busyUntil
+	p.pause(func(now sim.Cycle) bool { return now >= t })
+}
+
+// WaitUntil blocks without consuming cycles until pred holds (used for
+// idealized synchronization, not for modeled software).
+func (p *Proc) WaitUntil(pred func(sim.Cycle) bool) {
+	p.pause(pred)
+}
+
+// Send hands pkt to the NIC, charging the software send overhead and
+// stalling while the NIC applies backpressure. As in the CM-5 message
+// layers, a stalled sender keeps polling the network to avoid deadlock, so
+// incoming packets' handlers run — and are charged — before the send
+// completes. That is exactly the swamping mechanism of §4.5: a flood of
+// arrivals can keep a processor "continually receiving with no chance to
+// send".
+func (p *Proc) Send(pkt *packet.Packet) {
+	// CMAM-style: every send first services pending arrivals. This is what
+	// lets a faster upstream sender starve a pipeline stage — each time the
+	// stage tries to send, another arrival's handler runs first — and what
+	// the "with delay" variant of Figure 9 works around in software.
+	for {
+		q, ok := p.nic.Recv(p.now)
+		if !ok {
+			break
+		}
+		p.chargeRecv(q)
+		p.inbox = append(p.inbox, q)
+	}
+	p.Consume(p.costs.Send)
+	for !p.nic.TrySend(p.now, pkt) {
+		if q, ok := p.nic.Recv(p.now); ok {
+			p.chargeRecv(q)
+			p.inbox = append(p.inbox, q)
+			continue
+		}
+		p.Consume(1) // stall a cycle and retry: NIC backpressure
+	}
+}
+
+func (p *Proc) chargeRecv(pkt *packet.Packet) {
+	c := p.costs.Recv
+	if pkt.Meta.Tag == TagNeedsReorder {
+		c += p.costs.ReorderPenalty
+	}
+	p.Consume(c)
+}
+
+// Poll makes one reception attempt: on a hit it charges the receive
+// overhead and returns the packet; on a miss it charges the poll cost.
+// Packets whose handlers already ran during a stalled send return first,
+// free.
+func (p *Proc) Poll() (*packet.Packet, bool) {
+	if len(p.inbox) > 0 {
+		pkt := p.inbox[0]
+		p.inbox[0] = nil
+		p.inbox = p.inbox[1:]
+		return pkt, true
+	}
+	if pkt, ok := p.nic.Recv(p.now); ok {
+		p.chargeRecv(pkt)
+		return pkt, true
+	}
+	p.Consume(p.costs.Poll)
+	return nil, false
+}
+
+// TagNeedsReorder marks packets whose receive handler performs software
+// reordering/bookkeeping (set by the message layer on out-of-order fabrics).
+const TagNeedsReorder = 1
+
+// HasPending reports whether a packet is ready for the processor, either
+// already handled into the inbox or waiting at the NIC.
+func (p *Proc) HasPending() bool {
+	return len(p.inbox) > 0 || p.nic.Pending() > 0
+}
+
+// Recv polls until a packet arrives.
+func (p *Proc) Recv() *packet.Packet {
+	for {
+		if pkt, ok := p.Poll(); ok {
+			return pkt
+		}
+	}
+}
+
+// RecvOr polls until a packet arrives or stop returns true; it returns
+// (nil, false) in the latter case.
+func (p *Proc) RecvOr(stop func() bool) (*packet.Packet, bool) {
+	for {
+		if stop() {
+			return nil, false
+		}
+		if pkt, ok := p.Poll(); ok {
+			return pkt, true
+		}
+	}
+}
+
+// Barrier joins b, servicing arrivals with handler (which may be nil to
+// drop them) while waiting — a node parked at a barrier must keep pulling
+// packets or it would wedge every sender targeting it.
+func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
+	b.arrived++
+	gen := b.gen
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+	}
+	for b.gen == gen {
+		if len(p.inbox) > 0 {
+			pkt := p.inbox[0]
+			p.inbox[0] = nil
+			p.inbox = p.inbox[1:]
+			if handler != nil {
+				handler(pkt)
+			}
+			continue
+		}
+		if pkt, ok := p.nic.Recv(p.now); ok {
+			p.chargeRecv(pkt)
+			if handler != nil {
+				handler(pkt)
+			}
+			continue
+		}
+		p.pause(func(now sim.Cycle) bool { return b.gen != gen || p.nic.Pending() > 0 })
+	}
+}

@@ -1,0 +1,41 @@
+// Package router implements the shared switching machinery used by every
+// simulated topology: virtual-channel input buffers, credit-based link-level
+// flow control, route/VC allocation, round-robin switch arbitration, and the
+// node network interface port (Iface) that injects and ejects whole packets.
+//
+// All topologies in internal/topo compose Routers with topology-specific
+// route functions. The design point follows the paper's assumptions (§1.1):
+// wormhole or cut-through routing, optional store-and-forward, two logical
+// networks (request/reply) as distinct virtual-channel classes, and
+// backpressure as the only in-fabric feedback.
+package router
+
+import (
+	"nifdy/internal/link"
+	"nifdy/internal/packet"
+)
+
+// Credit is a buffer-slot return notification for one virtual channel of the
+// downstream input port.
+type Credit struct {
+	// VC is the global virtual-channel index (class*VCs + vc).
+	VC int
+}
+
+// Channel bundles a forward flit link with its reverse credit wire. One
+// Channel connects an output port (or an Iface's injection side) to an input
+// port (or an Iface's ejection side).
+type Channel struct {
+	Flits   *link.Link[packet.Flit]
+	Credits *link.Wire[Credit]
+}
+
+// NewChannel returns a channel whose flit link serializes one flit per
+// cyclesPerFlit cycles with the given wire latency; credits return with
+// latency 1.
+func NewChannel(cyclesPerFlit, latency int) *Channel {
+	return &Channel{
+		Flits:   link.NewLink[packet.Flit](cyclesPerFlit, latency),
+		Credits: link.NewWire[Credit](1),
+	}
+}

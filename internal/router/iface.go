@@ -1,0 +1,311 @@
+package router
+
+import (
+	"fmt"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/rng"
+	"nifdy/internal/sim"
+)
+
+// IfaceConfig parameterizes a node's network interface port.
+type IfaceConfig struct {
+	// Node is the node number (diagnostics).
+	Node int
+	// VCs per class; must match the attached router.
+	VCs int
+	// BufFlits is the ejection buffer depth per VC. It must be at least the
+	// largest packet size, since a packet is handed to the NIC only when
+	// fully reassembled.
+	BufFlits int
+	// DropProb, when positive, drops each fully arrived packet with this
+	// probability — the lossy-network model for the §6.2 retransmission
+	// extension. Requires RNG.
+	DropProb float64
+	// RNG drives loss decisions.
+	RNG *rng.Source
+}
+
+type ifSlot struct {
+	p    *packet.Packet
+	next int // next flit index to send
+	vc   int // allocated global vc at the router's local input port, -1 before head
+}
+
+type ejectVC struct {
+	q []packet.Flit
+}
+
+// Iface is the boundary between a NIC and the network fabric: it serializes
+// outgoing packets flit-by-flit into the local router port (one packet per
+// class at a time, classes interleaved at flit granularity like any VC mux)
+// and reassembles incoming flits into whole packets that the NIC pulls on
+// its own schedule. Unpulled packets hold their buffer slots and therefore
+// exert backpressure into the fabric — exactly the end-point congestion
+// mechanism the paper studies.
+//
+// Most fabrics share one physical channel pair between the two logical
+// networks (demand multiplexing); the CM-5 fat tree attaches one channel
+// pair per class (strict time multiplexing), via ConnectOutClass and
+// ConnectInClass.
+type Iface struct {
+	cfg IfaceConfig
+
+	outCh   [packet.NumClasses]*Channel
+	credits []int
+	slots   [packet.NumClasses]ifSlot
+	clsRR   int
+
+	inCh    [packet.NumClasses]*Channel
+	eject   []ejectVC
+	ejected int // flits buffered on the eject side
+	scanRR  int
+
+	injectedPkts, deliveredPkts, droppedPkts int64
+	injectedFlits                            int64
+}
+
+// NewIface returns an Iface for cfg.
+func NewIface(cfg IfaceConfig) *Iface {
+	if cfg.VCs < 1 {
+		cfg.VCs = 1
+	}
+	if cfg.BufFlits < 1 {
+		cfg.BufFlits = 1
+	}
+	f := &Iface{cfg: cfg}
+	nvc := packet.NumClasses * cfg.VCs
+	f.eject = make([]ejectVC, nvc)
+	f.credits = make([]int, nvc)
+	for i := range f.slots {
+		f.slots[i].vc = -1
+	}
+	return f
+}
+
+// ConnectOut attaches ch as the shared injection channel for all classes.
+// routerDepth is the per-VC buffer depth of the router's local input port.
+func (f *Iface) ConnectOut(ch *Channel, routerDepth int) {
+	for c := 0; c < packet.NumClasses; c++ {
+		f.ConnectOutClass(packet.Class(c), ch, routerDepth)
+	}
+}
+
+// ConnectOutClass attaches ch as the injection channel for one class only.
+func (f *Iface) ConnectOutClass(c packet.Class, ch *Channel, routerDepth int) {
+	f.outCh[c] = ch
+	base := int(c) * f.cfg.VCs
+	for v := 0; v < f.cfg.VCs; v++ {
+		f.credits[base+v] = routerDepth
+	}
+}
+
+// ConnectIn attaches ch as the shared ejection channel for all classes.
+func (f *Iface) ConnectIn(ch *Channel) {
+	for c := 0; c < packet.NumClasses; c++ {
+		f.ConnectInClass(packet.Class(c), ch)
+	}
+}
+
+// ConnectInClass attaches ch as the ejection channel for one class only.
+func (f *Iface) ConnectInClass(c packet.Class, ch *Channel) { f.inCh[c] = ch }
+
+// BufFlits reports the ejection buffer depth per VC (the value the router's
+// local output port must be granted as credit).
+func (f *Iface) BufFlits() int { return f.cfg.BufFlits }
+
+// CanAccept reports whether a new outgoing packet of the given class can be
+// started this cycle.
+func (f *Iface) CanAccept(c packet.Class) bool { return f.slots[c].p == nil }
+
+// StartSend begins serializing p into the network. The caller must have
+// checked CanAccept for p's class.
+func (f *Iface) StartSend(now sim.Cycle, p *packet.Packet) {
+	s := &f.slots[p.Class]
+	if s.p != nil {
+		panic(fmt.Sprintf("iface %d: StartSend while class %v busy", f.cfg.Node, p.Class))
+	}
+	s.p = p
+	s.next = 0
+	s.vc = -1
+	_ = now
+}
+
+// Sending reports the packet currently being serialized for class c, if any.
+func (f *Iface) Sending(c packet.Class) *packet.Packet { return f.slots[c].p }
+
+// Tick drains credits and arrivals, applies loss, and pushes flits onto the
+// local channel(s) — one flit per physical channel per cycle.
+func (f *Iface) Tick(now sim.Cycle) {
+	f.drainCredits(now)
+	f.drainArrivals(now)
+	f.sendFlits(now)
+}
+
+func (f *Iface) drainCredits(now sim.Cycle) {
+	for c := 0; c < packet.NumClasses; c++ {
+		ch := f.outCh[c]
+		if ch == nil || (c > 0 && ch == f.outCh[c-1]) {
+			continue // shared channel already drained
+		}
+		for {
+			cr, ok := ch.Credits.Recv(now)
+			if !ok {
+				break
+			}
+			f.credits[cr.VC]++
+		}
+	}
+}
+
+func (f *Iface) drainArrivals(now sim.Cycle) {
+	for c := 0; c < packet.NumClasses; c++ {
+		ch := f.inCh[c]
+		if ch == nil || (c > 0 && ch == f.inCh[c-1]) {
+			continue
+		}
+		for {
+			fl, ok := ch.Flits.Recv(now)
+			if !ok {
+				break
+			}
+			vc := &f.eject[fl.VC]
+			if len(vc.q) >= f.cfg.BufFlits {
+				panic(fmt.Sprintf("iface %d: eject vc %d overflow", f.cfg.Node, fl.VC))
+			}
+			vc.q = append(vc.q, fl)
+			f.ejected++
+			if fl.Tail() && f.cfg.DropProb > 0 && f.cfg.RNG != nil && f.cfg.RNG.Bool(f.cfg.DropProb) {
+				f.extract(now, fl.VC, fl.Pkt)
+				f.droppedPkts++
+			}
+		}
+	}
+}
+
+// extract removes all flits of p from eject vc g and returns their credits.
+func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) {
+	vc := &f.eject[g]
+	kept := vc.q[:0]
+	removed := 0
+	for _, fl := range vc.q {
+		if fl.Pkt == p {
+			removed++
+			continue
+		}
+		kept = append(kept, fl)
+	}
+	for i := len(kept); i < len(vc.q); i++ {
+		vc.q[i] = packet.Flit{}
+	}
+	vc.q = kept
+	f.ejected -= removed
+	ch := f.inCh[g/f.cfg.VCs]
+	for i := 0; i < removed; i++ {
+		ch.Credits.Send(now, Credit{VC: g})
+	}
+}
+
+func (f *Iface) sendFlits(now sim.Cycle) {
+	var used [packet.NumClasses]*Channel // channels that carried a flit this cycle
+	nUsed := 0
+	for k := 0; k < packet.NumClasses; k++ {
+		ci := (k + f.clsRR) % packet.NumClasses
+		s := &f.slots[ci]
+		if s.p == nil {
+			continue
+		}
+		ch := f.outCh[ci]
+		if ch == nil || !ch.Flits.CanSend(now) {
+			continue
+		}
+		already := false
+		for i := 0; i < nUsed; i++ {
+			if used[i] == ch {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if s.vc < 0 {
+			// Head flit: allocate the freest VC in the packet's class range.
+			base := ci * f.cfg.VCs
+			best, bestCred := -1, 0
+			for v := 0; v < f.cfg.VCs; v++ {
+				if f.credits[base+v] > bestCred {
+					best, bestCred = base+v, f.credits[base+v]
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			s.vc = best
+			s.p.InjectedAt = now
+		}
+		if f.credits[s.vc] <= 0 {
+			continue
+		}
+		fl := packet.Flit{Pkt: s.p, Index: s.next, VC: s.vc}
+		ch.Flits.Send(now, fl)
+		f.credits[s.vc]--
+		f.injectedFlits++
+		s.next++
+		if s.next == s.p.Flits() {
+			f.injectedPkts++
+			s.p = nil
+			s.vc = -1
+		}
+		used[nUsed] = ch
+		nUsed++
+		f.clsRR = (ci + 1) % packet.NumClasses
+	}
+}
+
+// Deliver pops the first fully reassembled packet satisfying pred (nil pred
+// accepts anything), scanning VCs from a rotating offset. The packet's
+// DeliveredAt is stamped with the current cycle.
+func (f *Iface) Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.Packet, bool) {
+	if f.ejected == 0 {
+		return nil, false
+	}
+	n := len(f.eject)
+	for k := 0; k < n; k++ {
+		g := (k + f.scanRR) % n
+		vc := &f.eject[g]
+		if len(vc.q) == 0 || !vc.q[0].Head() {
+			continue
+		}
+		p := vc.q[0].Pkt
+		if !tailPresent(vc.q, p) {
+			continue
+		}
+		if pred != nil && !pred(p) {
+			continue
+		}
+		f.extract(now, g, p)
+		f.deliveredPkts++
+		p.DeliveredAt = now
+		f.scanRR = (g + 1) % n
+		return p, true
+	}
+	return nil, false
+}
+
+// PendingFlits reports flits buffered on the eject side (not yet pulled).
+func (f *Iface) PendingFlits() int { return f.ejected }
+
+// Stats reports injected, delivered, and dropped packet counts.
+func (f *Iface) Stats() (injected, delivered, dropped int64) {
+	return f.injectedPkts, f.deliveredPkts, f.droppedPkts
+}
+
+func tailPresent(q []packet.Flit, p *packet.Packet) bool {
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i].Pkt == p && q[i].Tail() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,363 @@
+package router
+
+import (
+	"fmt"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/rng"
+	"nifdy/internal/sim"
+)
+
+// Choice is one candidate next hop for a packet: an output port and the
+// virtual channels (within the packet's class, 0..VCs-1) it may use there.
+// An empty VCs slice means any VC of the class is allowed.
+type Choice struct {
+	Port int
+	VCs  []int
+}
+
+// RouteFn computes the candidate next hops for a packet arriving on inPort.
+// Implementations append to scratch and return it to avoid allocation. A
+// RouteFn must be a pure function of (inPort, packet) — adaptivity between
+// the returned candidates is the router's job, not the route function's.
+type RouteFn func(inPort int, p *packet.Packet, scratch []Choice) []Choice
+
+// Config parameterizes a Router.
+type Config struct {
+	// ID identifies the router (diagnostics only).
+	ID int
+	// InPorts and OutPorts are the port counts; port i in and out need not
+	// be related.
+	InPorts, OutPorts int
+	// VCs is the number of virtual channels per logical network class. The
+	// total VC space per port is packet.NumClasses * VCs.
+	VCs int
+	// BufFlits is the input buffer depth per virtual channel, in flits.
+	BufFlits int
+	// SAF selects store-and-forward: a packet's flits are forwarded only
+	// once the whole packet is buffered. Requires BufFlits >= packet size.
+	SAF bool
+	// Route computes candidate next hops.
+	Route RouteFn
+	// RNG breaks ties between equally attractive adaptive candidates. If
+	// nil, the first candidate wins (appropriate for deterministic routing).
+	RNG *rng.Source
+}
+
+type vcState struct {
+	q       []packet.Flit
+	outPort int // -1 when the head packet has no route yet
+	outVC   int // global vc index at the downstream input port
+	// choices caches the route computation for the packet at the front of
+	// the queue, so a head blocked on VC allocation does not recompute its
+	// route every cycle.
+	choices   []Choice
+	choicesOK bool
+}
+
+type inPort struct {
+	ch  *Channel
+	vcs []vcState
+}
+
+type requester struct{ in, vc int }
+
+type outPort struct {
+	ch      *Channel
+	credits []int            // free downstream buffer slots per global vc
+	initial int              // initial credit grant (downstream buffer depth)
+	owner   []*packet.Packet // packet holding each downstream vc, nil = free
+	reqs    []requester      // input vcs currently routed to this port
+	rr      int              // round-robin pointer into reqs
+}
+
+// Router is a generic virtual-channel switch.
+type Router struct {
+	cfg      Config
+	in       []inPort
+	out      []outPort
+	buffered int // total flits in input buffers (fast-path skip)
+	unrouted int // input VCs whose front flit is an unrouted head
+	inUsed   []bool
+	allocRR  int
+}
+
+// New returns a Router for cfg. Ports start unconnected; unconnected ports
+// are ignored.
+func New(cfg Config) *Router {
+	if cfg.VCs < 1 {
+		cfg.VCs = 1
+	}
+	if cfg.BufFlits < 1 {
+		cfg.BufFlits = 1
+	}
+	r := &Router{cfg: cfg}
+	nvc := packet.NumClasses * cfg.VCs
+	r.in = make([]inPort, cfg.InPorts)
+	for i := range r.in {
+		r.in[i].vcs = make([]vcState, nvc)
+		for v := range r.in[i].vcs {
+			r.in[i].vcs[v].outPort = -1
+		}
+	}
+	r.out = make([]outPort, cfg.OutPorts)
+	r.inUsed = make([]bool, cfg.InPorts)
+	return r
+}
+
+// ID returns the router's configured identifier.
+func (r *Router) ID() int { return r.cfg.ID }
+
+// VCs returns the per-class virtual channel count.
+func (r *Router) VCs() int { return r.cfg.VCs }
+
+// BufFlits returns the per-VC input buffer depth.
+func (r *Router) BufFlits() int { return r.cfg.BufFlits }
+
+// ConnectIn attaches ch as the flit source for input port p.
+func (r *Router) ConnectIn(p int, ch *Channel) { r.in[p].ch = ch }
+
+// ConnectOut attaches ch as output port p's channel. downstreamDepth is the
+// per-VC buffer depth of the input port at the far end (the initial credit).
+func (r *Router) ConnectOut(p int, ch *Channel, downstreamDepth int) {
+	op := &r.out[p]
+	op.ch = ch
+	op.initial = downstreamDepth
+	n := packet.NumClasses * r.cfg.VCs
+	op.credits = make([]int, n)
+	op.owner = make([]*packet.Packet, n)
+	for i := range op.credits {
+		op.credits[i] = downstreamDepth
+	}
+}
+
+// BufferedFlits reports the total flits held in this router's input buffers
+// (used by volume/occupancy statistics).
+func (r *Router) BufferedFlits() int { return r.buffered }
+
+// Tick advances the router one cycle: drain arrivals and credits, allocate
+// routes and output VCs for new head flits, then forward one flit per free
+// output port.
+func (r *Router) Tick(now sim.Cycle) {
+	r.receive(now)
+	if r.buffered == 0 {
+		return
+	}
+	if r.unrouted > 0 {
+		r.allocate()
+	}
+	r.send(now)
+}
+
+func (r *Router) receive(now sim.Cycle) {
+	for i := range r.in {
+		ip := &r.in[i]
+		if ip.ch == nil {
+			continue
+		}
+		for {
+			f, ok := ip.ch.Flits.Recv(now)
+			if !ok {
+				break
+			}
+			v := &ip.vcs[f.VC]
+			if len(v.q) >= r.cfg.BufFlits {
+				panic(fmt.Sprintf("router %d: input %d vc %d overflow (credit protocol violated)", r.cfg.ID, i, f.VC))
+			}
+			v.q = append(v.q, f)
+			r.buffered++
+			if len(v.q) == 1 && f.Head() && v.outPort < 0 {
+				r.unrouted++
+			}
+		}
+	}
+	for i := range r.out {
+		op := &r.out[i]
+		if op.ch == nil {
+			continue
+		}
+		for {
+			c, ok := op.ch.Credits.Recv(now)
+			if !ok {
+				break
+			}
+			op.credits[c.VC]++
+			if op.credits[c.VC] > op.initial {
+				// Credits can never exceed the initial grant.
+				panic(fmt.Sprintf("router %d: credit overflow on out %d vc %d", r.cfg.ID, i, c.VC))
+			}
+		}
+	}
+}
+
+// allocate assigns an output port and downstream VC to every buffered head
+// flit that lacks one. Input VCs are scanned from a rotating offset so no VC
+// is systematically favored.
+func (r *Router) allocate() {
+	nvc := packet.NumClasses * r.cfg.VCs
+	total := len(r.in) * nvc
+	start := r.allocRR
+	for k := 0; k < total; k++ {
+		idx := (k + start) % total
+		inIdx, vcIdx := idx/nvc, idx%nvc
+		ip := &r.in[inIdx]
+		v := &ip.vcs[vcIdx]
+		if v.outPort >= 0 || len(v.q) == 0 || !v.q[0].Head() {
+			continue
+		}
+		p := v.q[0].Pkt
+		if !v.choicesOK {
+			v.choices = r.cfg.Route(inIdx, p, v.choices[:0])
+			v.choicesOK = true
+			if len(v.choices) == 0 {
+				panic(fmt.Sprintf("router %d: no route for %v on in %d", r.cfg.ID, p, inIdx))
+			}
+		}
+		choices := v.choices
+		bestPort, bestVC, bestScore, ties := -1, -1, -1, 0
+		classBase := int(p.Class) * r.cfg.VCs
+		for _, ch := range choices {
+			op := &r.out[ch.Port]
+			if op.ch == nil {
+				continue
+			}
+			cands := ch.VCs
+			if len(cands) == 0 {
+				cands = allVCs(r.cfg.VCs)
+			}
+			for _, cvc := range cands {
+				g := classBase + cvc
+				if op.owner[g] != nil {
+					continue
+				}
+				score := op.credits[g]
+				switch {
+				case score > bestScore:
+					bestPort, bestVC, bestScore, ties = ch.Port, g, score, 1
+				case score == bestScore && r.cfg.RNG != nil:
+					// Reservoir sampling for an unbiased tie-break.
+					ties++
+					if r.cfg.RNG.Intn(ties) == 0 {
+						bestPort, bestVC = ch.Port, g
+					}
+				}
+			}
+		}
+		if bestPort < 0 {
+			continue // every candidate VC is owned; retry next cycle
+		}
+		op := &r.out[bestPort]
+		op.owner[bestVC] = p
+		op.reqs = append(op.reqs, requester{inIdx, vcIdx})
+		v.outPort, v.outVC = bestPort, bestVC
+		v.choicesOK = false
+		r.unrouted--
+		// Rotate past the winner so competing inputs alternate even when
+		// packet lengths resonate with the scan period.
+		r.allocRR = idx + 1
+	}
+}
+
+// send forwards at most one flit per output port, round-robin among the
+// input VCs routed to it, subject to credits, link availability, one flit
+// per input port per cycle, and (in SAF mode) whole-packet buffering.
+func (r *Router) send(now sim.Cycle) {
+	for i := range r.inUsed {
+		r.inUsed[i] = false
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.ch == nil || len(op.reqs) == 0 || !op.ch.Flits.CanSend(now) {
+			continue
+		}
+		n := len(op.reqs)
+		for k := 0; k < n; k++ {
+			ri := (k + op.rr) % n
+			req := op.reqs[ri]
+			if r.inUsed[req.in] {
+				continue
+			}
+			ip := &r.in[req.in]
+			v := &ip.vcs[req.vc]
+			if len(v.q) == 0 || op.credits[v.outVC] <= 0 {
+				continue
+			}
+			if r.cfg.SAF && !r.tailBuffered(v) {
+				if len(v.q) >= r.cfg.BufFlits {
+					panic(fmt.Sprintf("router %d: SAF buffer (%d flits) smaller than packet %v", r.cfg.ID, r.cfg.BufFlits, v.q[0].Pkt))
+				}
+				continue
+			}
+			f := v.q[0]
+			v.q[0] = packet.Flit{}
+			v.q = v.q[1:]
+			if len(v.q) == 0 {
+				v.q = nil // reset backing array so append reuses fresh storage
+			}
+			r.buffered--
+			f.VC = v.outVC
+			op.ch.Flits.Send(now, f)
+			op.credits[v.outVC]--
+			if ip.ch != nil {
+				ip.ch.Credits.Send(now, Credit{VC: req.vc})
+			}
+			r.inUsed[req.in] = true
+			if f.Tail() {
+				op.owner[v.outVC] = nil
+				v.outPort, v.outVC = -1, -1
+				if len(v.q) > 0 {
+					// The next packet's head is now at the front.
+					r.unrouted++
+				}
+				op.reqs = append(op.reqs[:ri], op.reqs[ri+1:]...)
+				op.rr = ri % max(1, len(op.reqs))
+			} else {
+				op.rr = (ri + 1) % n
+			}
+			break
+		}
+	}
+}
+
+// tailBuffered reports whether the tail flit of the packet at the head of v
+// is already buffered (store-and-forward eligibility).
+func (r *Router) tailBuffered(v *vcState) bool {
+	p := v.q[0].Pkt
+	for i := len(v.q) - 1; i >= 0; i-- {
+		if v.q[i].Pkt == p && v.q[i].Tail() {
+			return true
+		}
+	}
+	return false
+}
+
+var vcTables [][]int
+
+func init() {
+	vcTables = make([][]int, 17)
+	for n := 1; n <= 16; n++ {
+		t := make([]int, n)
+		for i := range t {
+			t[i] = i
+		}
+		vcTables[n] = t
+	}
+}
+
+func allVCs(n int) []int {
+	if n < len(vcTables) {
+		return vcTables[n]
+	}
+	t := make([]int, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

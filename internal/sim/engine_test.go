@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+type counter struct{ n int }
+
+func (c *counter) Tick(now Cycle) { c.n++ }
+
+func TestStepAdvancesCycle(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine at cycle %d", e.Now())
+	}
+	e.Step()
+	e.Step()
+	if e.Now() != 2 {
+		t.Fatalf("after 2 steps, Now = %d", e.Now())
+	}
+}
+
+func TestRunTicksEveryComponent(t *testing.T) {
+	e := New()
+	cs := []*counter{{}, {}, {}}
+	for _, c := range cs {
+		e.Register(c)
+	}
+	e.Run(100)
+	for i, c := range cs {
+		if c.n != 100 {
+			t.Errorf("component %d ticked %d times, want 100", i, c.n)
+		}
+	}
+}
+
+func TestTickOrderWithinShard(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Register(TickFunc(func(Cycle) { order = append(order, i) }))
+	}
+	e.Step()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tick order %v", order)
+		}
+	}
+}
+
+func TestFlushRunsAfterTicks(t *testing.T) {
+	e := New()
+	var r Reg[int]
+	e.RegisterLatch(&r)
+	e.Register(TickFunc(func(now Cycle) {
+		// During the tick of cycle n, the register must still show the value
+		// set in cycle n-1.
+		if got, want := int64(r.Get()), now; got != want {
+			t.Errorf("cycle %d: reg shows %d", now, got)
+		}
+		r.Set(int(now) + 1)
+	}))
+	e.Run(5)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	c := &counter{}
+	e.Register(c)
+	ok := e.RunUntil(func() bool { return c.n >= 10 }, 100)
+	if !ok {
+		t.Fatal("RunUntil did not report done")
+	}
+	if c.n != 10 {
+		t.Fatalf("ran %d cycles, want 10", c.n)
+	}
+	if !e.RunUntil(func() bool { return true }, 0) {
+		t.Fatal("RunUntil with already-true predicate and max 0 should succeed")
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	e := New()
+	if e.RunUntil(func() bool { return false }, 7) {
+		t.Fatal("RunUntil reported done for never-true predicate")
+	}
+	if e.Now() != 7 {
+		t.Fatalf("RunUntil timeout ran %d cycles, want 7", e.Now())
+	}
+}
+
+func TestParallelTicksAll(t *testing.T) {
+	e := NewParallel(4)
+	var n atomic.Int64
+	for i := 0; i < 16; i++ {
+		e.RegisterSharded(i, TickFunc(func(Cycle) { n.Add(1) }))
+	}
+	e.Run(10)
+	if n.Load() != 160 {
+		t.Fatalf("ticked %d times, want 160", n.Load())
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// A ring of registers: shard i reads reg[i-1] and writes reg[i]. After N
+	// cycles the values are a deterministic function of N regardless of
+	// execution interleaving, because all cross-shard traffic is latched.
+	build := func(e *Engine) []*Reg[int] {
+		const k = 8
+		regs := make([]*Reg[int], k)
+		for i := range regs {
+			regs[i] = &Reg[int]{}
+			e.RegisterLatch(regs[i])
+		}
+		for i := 0; i < k; i++ {
+			i := i
+			e.RegisterSharded(i, TickFunc(func(Cycle) {
+				regs[i].Set(regs[(i+k-1)%k].Get() + 1)
+			}))
+		}
+		return regs
+	}
+	es := New()
+	ep := NewParallel(4)
+	rs := build(es)
+	rp := build(ep)
+	es.Run(50)
+	ep.Run(50)
+	for i := range rs {
+		if rs[i].Get() != rp[i].Get() {
+			t.Fatalf("reg %d: serial %d parallel %d", i, rs[i].Get(), rp[i].Get())
+		}
+	}
+}
+
+func TestNewParallelClampsShards(t *testing.T) {
+	e := NewParallel(0)
+	if e.Shards() != 1 {
+		t.Fatalf("NewParallel(0) has %d shards", e.Shards())
+	}
+	e.Register(&counter{}) // must not panic
+	e.Step()
+}
+
+func TestQueueLatching(t *testing.T) {
+	q := NewQueue[int](0)
+	q.Push(1)
+	if q.Len() != 0 {
+		t.Fatal("pushed item visible before flush")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned item before flush")
+	}
+	q.Flush()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after flush", q.Len())
+	}
+	v, ok := q.Pop()
+	if !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v", v, ok)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Flush()
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := NewQueue[int](2)
+	if !q.Push(1) || !q.Push(2) {
+		t.Fatal("pushes under capacity rejected")
+	}
+	if q.Push(3) {
+		t.Fatal("push over capacity accepted")
+	}
+	q.Flush()
+	if q.CanPush() {
+		t.Fatal("CanPush true while full")
+	}
+	q.Pop()
+	if !q.CanPush() {
+		t.Fatal("CanPush false after Pop freed space")
+	}
+}
+
+func TestQueueCapacityCountsPending(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Push(1)
+	q.Flush()
+	q.Push(2)
+	// One visible + one pending = at capacity.
+	if q.Push(3) {
+		t.Fatal("capacity must count pending items")
+	}
+	if q.Occupied() != 2 {
+		t.Fatalf("Occupied = %d", q.Occupied())
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue[string](0)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue")
+	}
+	q.Push("a")
+	q.Flush()
+	v, ok := q.Peek()
+	if !ok || v != "a" {
+		t.Fatalf("Peek = %q,%v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed the item")
+	}
+}
+
+func TestQueueProperty(t *testing.T) {
+	// Property: with unbounded capacity, items come out in push order across
+	// arbitrary interleavings of push/flush.
+	f := func(ops []uint8) bool {
+		q := NewQueue[int](0)
+		var pushed, popped []int
+		n := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				q.Push(n)
+				pushed = append(pushed, n)
+				n++
+			case 1:
+				q.Flush()
+			case 2:
+				if v, ok := q.Pop(); ok {
+					popped = append(popped, v)
+				}
+			}
+		}
+		q.Flush()
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, v)
+		}
+		if len(popped) != len(pushed) {
+			return false
+		}
+		for i := range popped {
+			if popped[i] != pushed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegDefaultZero(t *testing.T) {
+	var r Reg[int]
+	if r.Get() != 0 {
+		t.Fatal("zero Reg not zero")
+	}
+	r.Flush() // no pending write: must keep value
+	if r.Get() != 0 {
+		t.Fatal("Flush with no Set changed value")
+	}
+}
+
+func BenchmarkStepSerial(b *testing.B) {
+	e := New()
+	for i := 0; i < 256; i++ {
+		e.Register(TickFunc(func(Cycle) {}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepParallel(b *testing.B) {
+	e := NewParallel(4)
+	for i := 0; i < 256; i++ {
+		e.RegisterSharded(i, TickFunc(func(Cycle) {}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+// Queue is a latched FIFO: items pushed during a cycle's Tick phase become
+// visible to readers only after the Flush phase, preserving the engine's
+// order-independence guarantee. It is the standard boundary between two
+// components that tick in unknown relative order (e.g. a NIC and a router's
+// local port).
+type Queue[T any] struct {
+	cur     []T
+	pending []T
+	cap     int // total capacity (visible + pending); 0 = unbounded
+}
+
+// NewQueue returns a Queue with the given total capacity. capacity <= 0
+// means unbounded.
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// CanPush reports whether a Push this cycle would be accepted.
+func (q *Queue[T]) CanPush() bool {
+	return q.cap <= 0 || len(q.cur)+len(q.pending) < q.cap
+}
+
+// Push enqueues v to become visible next cycle. It reports whether the item
+// was accepted (false if the queue is full).
+func (q *Queue[T]) Push(v T) bool {
+	if !q.CanPush() {
+		return false
+	}
+	q.pending = append(q.pending, v)
+	return true
+}
+
+// Len reports the number of currently visible items.
+func (q *Queue[T]) Len() int { return len(q.cur) }
+
+// Occupied reports visible plus pending items (the value capacity is
+// enforced against).
+func (q *Queue[T]) Occupied() int { return len(q.cur) + len(q.pending) }
+
+// Peek returns the oldest visible item without removing it. ok is false if
+// none is visible.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.cur) == 0 {
+		return v, false
+	}
+	return q.cur[0], true
+}
+
+// Pop removes and returns the oldest visible item.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if len(q.cur) == 0 {
+		return v, false
+	}
+	v = q.cur[0]
+	var zero T
+	q.cur[0] = zero // release reference for GC
+	q.cur = q.cur[1:]
+	return v, true
+}
+
+// Flush implements Latch, publishing pending items.
+func (q *Queue[T]) Flush() {
+	if len(q.pending) == 0 {
+		return
+	}
+	q.cur = append(q.cur, q.pending...)
+	for i := range q.pending {
+		var zero T
+		q.pending[i] = zero
+	}
+	q.pending = q.pending[:0]
+}
+
+// Reg is a double-buffered single value. Writes during Tick become readable
+// after Flush.
+type Reg[T any] struct {
+	cur, next T
+	hasNext   bool
+}
+
+// Get returns the current value.
+func (r *Reg[T]) Get() T { return r.cur }
+
+// Set schedules v to become current at the next Flush.
+func (r *Reg[T]) Set(v T) {
+	r.next = v
+	r.hasNext = true
+}
+
+// Flush implements Latch.
+func (r *Reg[T]) Flush() {
+	if r.hasNext {
+		r.cur = r.next
+		r.hasNext = false
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats collects and formats experiment measurements: the
+// pending-packets-per-receiver time series behind the paper's Figure 5
+// heatmap, scalar distributions, and aligned text tables for the harness's
+// table/figure output.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nifdy/internal/nic"
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+)
+
+// Pending tracks, per receiver, the number of data packets handed to some
+// sender's NIC but not yet accepted by the receiving processor — the
+// paper's "pending packets per receiver" congestion signal (Figure 5).
+// Register it as a Ticker to record periodic snapshots.
+type Pending struct {
+	counts   []int
+	interval sim.Cycle
+	samples  [][]int
+	times    []sim.Cycle
+}
+
+// NewPending returns a tracker for nodes receivers sampling every interval
+// cycles (interval <= 0 disables sampling; counts still work).
+func NewPending(nodes int, interval sim.Cycle) *Pending {
+	return &Pending{counts: make([]int, nodes), interval: interval}
+}
+
+// Hooks returns NIC hooks that maintain the counts. Pass them to every NIC
+// in the simulation.
+func (p *Pending) Hooks() nic.Hooks {
+	return nic.Hooks{
+		OnSend:   func(pkt *packet.Packet) { p.counts[pkt.Dst]++ },
+		OnAccept: func(pkt *packet.Packet) { p.counts[pkt.Dst]-- },
+	}
+}
+
+// Count reports the current pending count for receiver n.
+func (p *Pending) Count(n int) int { return p.counts[n] }
+
+// Max reports the largest current pending count.
+func (p *Pending) Max() int {
+	m := 0
+	for _, c := range p.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Tick implements sim.Ticker: snapshot at every interval boundary.
+func (p *Pending) Tick(now sim.Cycle) {
+	if p.interval <= 0 || now%p.interval != 0 {
+		return
+	}
+	snap := make([]int, len(p.counts))
+	copy(snap, p.counts)
+	p.samples = append(p.samples, snap)
+	p.times = append(p.times, now)
+}
+
+// Samples returns the recorded snapshots and their cycle stamps.
+func (p *Pending) Samples() ([][]int, []sim.Cycle) { return p.samples, p.times }
+
+// Heatmap renders the samples as ASCII art, one row per receiver, one
+// column per sample; darker glyphs mean more pending packets (the paper
+// shades from white at 0 to black at >= 20). Long runs are downsampled to
+// at most 120 columns, keeping each column's maximum so bursts stay
+// visible.
+func (p *Pending) Heatmap() string {
+	if len(p.samples) == 0 {
+		return "(no samples)\n"
+	}
+	const maxCols = 120
+	stride := (len(p.samples) + maxCols - 1) / maxCols
+	shades := []byte(" .:-=+*#%@")
+	// Shade against the observed peak (at least the paper's 20-packet
+	// black point / 4, so quiet runs are not artificially darkened).
+	peak := 5
+	for _, s := range p.samples {
+		for _, v := range s {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(shade scale: ' '=0 .. '@'=%d pending packets)\n", peak)
+	for n := range p.counts {
+		fmt.Fprintf(&b, "%3d |", n)
+		for c := 0; c < len(p.samples); c += stride {
+			v := 0
+			for k := c; k < c+stride && k < len(p.samples); k++ {
+				if p.samples[k][n] > v {
+					v = p.samples[k][n]
+				}
+			}
+			idx := v * (len(shades) - 1) / peak
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dist accumulates a scalar distribution.
+type Dist struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Add records v.
+func (d *Dist) Add(v float64) {
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// N reports the sample count.
+func (d *Dist) N() int64 { return d.n }
+
+// Mean reports the sample mean (0 when empty).
+func (d *Dist) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min and Max report the extremes (0 when empty).
+func (d *Dist) Min() float64 { return d.min }
+
+// Max reports the largest sample.
+func (d *Dist) Max() float64 { return d.max }
+
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%.0f max=%.0f", d.n, d.Mean(), d.min, d.max)
+}
+
+// Table is an aligned text table for harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v except floats, which use
+// one decimal place.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// JSON renders the table as a JSON object with title, headers, and rows —
+// for piping harness output into other tools.
+func (t *Table) JSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.rows})
+}

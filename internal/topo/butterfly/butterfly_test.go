@@ -1,0 +1,111 @@
+package butterfly
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/topo/topotest"
+)
+
+func TestChars(t *testing.T) {
+	c := New(Config{}).Chars()
+	if c.Nodes != 64 || c.MaxHops != 3 || !c.InOrder {
+		t.Fatalf("chars %+v", c)
+	}
+	m := New(Config{Dilation: 2}).Chars()
+	if m.InOrder {
+		t.Fatal("multibutterfly must not claim in-order delivery")
+	}
+	if m.BisectionFPC != 2*c.BisectionFPC {
+		t.Fatalf("dilation 2 bisection %v, want double %v", m.BisectionFPC, c.BisectionFPC)
+	}
+}
+
+func TestButterflyDelivery(t *testing.T) {
+	h := topotest.NewHarness(t, New(Config{Seed: 1}))
+	h.EnqueueRandom(300, 8, 2)
+	h.Run(300000)
+	h.CheckPairOrder() // dilation 1: single path, must stay in order
+	h.CheckDrained()
+}
+
+func TestMultibutterflyDelivery(t *testing.T) {
+	h := topotest.NewHarness(t, New(Config{Dilation: 2, Seed: 3}))
+	h.EnqueueRandom(300, 8, 4)
+	h.Run(300000)
+	h.CheckDrained()
+}
+
+func TestButterflyAllToAll(t *testing.T) {
+	h := topotest.NewHarness(t, New(Config{Stages: 2, Seed: 5})) // 16 nodes
+	h.AllPairs(8)
+	h.Run(2000000)
+	h.CheckDrained()
+}
+
+func TestMultibutterflyFasterUnderContention(t *testing.T) {
+	// Two flows collide on the same logical path; dilation 2 offers copies.
+	run := func(dil int) int64 {
+		fly := New(Config{Dilation: dil, Seed: 6})
+		h := topotest.NewHarness(t, fly)
+		// Sources sharing a stage-0 router, both sending into the same
+		// remote subtree so the logical directions coincide.
+		for i := 0; i < 20; i++ {
+			h.Enqueue(0, 60, 8, packet.Request)
+			h.Enqueue(1, 61, 8, packet.Request)
+		}
+		got := h.Run(2000000)
+		var last int64
+		for _, p := range got {
+			if p.DeliveredAt > last {
+				last = p.DeliveredAt
+			}
+		}
+		return last
+	}
+	t1, t2 := run(1), run(2)
+	if t2 > t1 {
+		t.Fatalf("dilation 2 finished at %d, later than dilation 1 at %d", t2, t1)
+	}
+}
+
+func TestDestinationTagProperty(t *testing.T) {
+	// Property: following route() from any source's stage-0 router always
+	// ejects at the destination, for any adaptive copy choice.
+	for _, dil := range []int{1, 2} {
+		fly := New(Config{Dilation: dil, Seed: 7})
+		f := func(a, b, pick uint8) bool {
+			src, dst := int(a)%64, int(b)%64
+			p := &packet.Packet{Src: src, Dst: dst, Words: 8, Dialog: packet.NoDialog}
+			r := src / fly.cfg.Radix
+			for s := 0; s < fly.cfg.Stages; s++ {
+				choices := fly.route(s, p, nil)
+				if len(choices) == 0 {
+					return false
+				}
+				port := choices[int(pick)%len(choices)].Port
+				dir := port / fly.cfg.Dilation
+				if s == fly.cfg.Stages-1 {
+					return r*fly.cfg.Radix+dir == dst
+				}
+				r = fly.setDigit(r, fly.cfg.Stages-2-s, dir)
+			}
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Fatalf("dilation %d: %v", dil, err)
+		}
+	}
+}
+
+func TestRadix2(t *testing.T) {
+	fly := New(Config{Radix: 2, Stages: 4, Seed: 8}) // 16 nodes
+	if fly.Nodes() != 16 {
+		t.Fatalf("nodes = %d", fly.Nodes())
+	}
+	h := topotest.NewHarness(t, fly)
+	h.EnqueueRandom(100, 8, 9)
+	h.Run(300000)
+	h.CheckDrained()
+}

@@ -1,0 +1,255 @@
+package fattree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/topo/topotest"
+)
+
+func TestDigitHelpers(t *testing.T) {
+	tr := New(Config{})
+	// w = 14 = 32 base 4.
+	if tr.digit(14, 0) != 2 || tr.digit(14, 1) != 3 {
+		t.Fatalf("digit(14): %d %d", tr.digit(14, 0), tr.digit(14, 1))
+	}
+	if got := tr.setDigit(14, 0, 1); got != 13 {
+		t.Fatalf("setDigit(14,0,1) = %d", got)
+	}
+	if got := tr.setDigit(14, 1, 0); got != 2 {
+		t.Fatalf("setDigit(14,1,0) = %d", got)
+	}
+}
+
+func TestHopsMatchesPaper(t *testing.T) {
+	// Paper §2.4.3: full 4-ary fat tree of 64 nodes, three levels, maximum
+	// internode distance 6 hops, average "not much less".
+	tr := New(Config{})
+	c := tr.Chars()
+	if c.Nodes != 64 {
+		t.Fatalf("nodes = %d", c.Nodes)
+	}
+	if c.MaxHops != 6 {
+		t.Fatalf("max hops = %d, want 6", c.MaxHops)
+	}
+	if c.AvgHops < 5 || c.AvgHops >= 6 {
+		t.Fatalf("avg hops = %v, want just under 6", c.AvgHops)
+	}
+	if c.InOrder {
+		t.Fatal("adaptive fat tree must not claim in-order delivery")
+	}
+}
+
+func TestHopsSameLeaf(t *testing.T) {
+	tr := New(Config{})
+	if got := tr.Hops(0, 1); got != 2 {
+		t.Fatalf("Hops(0,1) = %d, want 2 (shared leaf router)", got)
+	}
+	if got := tr.Hops(0, 0); got != 0 {
+		t.Fatalf("Hops(0,0) = %d", got)
+	}
+	if got := tr.Hops(0, 63); got != 6 {
+		t.Fatalf("Hops(0,63) = %d", got)
+	}
+}
+
+func TestFullTreeDelivery(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	h := topotest.NewHarness(t, tr)
+	h.EnqueueRandom(300, 8, 2)
+	h.Run(300000)
+	h.CheckDrained()
+}
+
+func TestStoreForwardDelivery(t *testing.T) {
+	tr := New(Config{Variant: StoreForward, Seed: 2})
+	h := topotest.NewHarness(t, tr)
+	h.EnqueueRandom(150, 8, 3)
+	h.Run(300000)
+	h.CheckDrained()
+}
+
+func TestCM5Delivery(t *testing.T) {
+	tr := New(Config{Variant: CM5, Seed: 3})
+	h := topotest.NewHarness(t, tr)
+	h.EnqueueRandom(150, 6, 4)
+	h.Run(600000)
+	h.CheckDrained()
+}
+
+func TestCM5ClassesIsolated(t *testing.T) {
+	// With strict time multiplexing, saturating the request network must
+	// not slow the reply network: a single reply packet's latency should
+	// match an idle network's.
+	lat := func(loaded bool) int64 {
+		tr := New(Config{Variant: CM5, Seed: 5})
+		h := topotest.NewHarness(t, tr)
+		if loaded {
+			for i := 0; i < 40; i++ {
+				h.Enqueue(0, 63, 6, packet.Request)
+			}
+		}
+		probe := h.Enqueue(0, 63, 6, packet.Reply)
+		h.Run(2000000)
+		return probe.DeliveredAt - probe.InjectedAt
+	}
+	idle, loaded := lat(false), lat(true)
+	if loaded > idle+idle/4 {
+		t.Fatalf("reply latency rose from %d to %d under request load: networks not isolated", idle, loaded)
+	}
+}
+
+func TestDemandMuxSharesBandwidth(t *testing.T) {
+	// On the full tree the two classes share physical links, so a loaded
+	// request network must visibly slow a reply packet on the same path.
+	lat := func(loaded bool) int64 {
+		tr := New(Config{Seed: 6})
+		h := topotest.NewHarness(t, tr)
+		if loaded {
+			for i := 0; i < 40; i++ {
+				h.Enqueue(0, 63, 8, packet.Request)
+			}
+		}
+		probe := h.Enqueue(0, 63, 8, packet.Reply)
+		h.Run(2000000)
+		return probe.DeliveredAt - probe.InjectedAt
+	}
+	idle, loaded := lat(false), lat(true)
+	if loaded <= idle {
+		t.Fatalf("reply latency %d not affected by request load (idle %d) on shared links", loaded, idle)
+	}
+}
+
+func TestAdaptiveUplinksSpreadTraffic(t *testing.T) {
+	// All nodes of one subtree sending to another subtree must use more
+	// than one top-level router (adaptivity); with deterministic single
+	// paths the cut would serialize far more.
+	tr := New(Config{Seed: 7})
+	h := topotest.NewHarness(t, tr)
+	for s := 0; s < 16; s++ {
+		for i := 0; i < 5; i++ {
+			h.Enqueue(s, 48+s%16, 8, packet.Request)
+		}
+	}
+	h.Run(400000)
+	h.CheckDrained()
+}
+
+func TestBisectionOrdering(t *testing.T) {
+	full := New(Config{Seed: 1}).Chars()
+	cm5 := New(Config{Variant: CM5, Seed: 1}).Chars()
+	if cm5.BisectionFPC >= full.BisectionFPC/2 {
+		t.Fatalf("CM-5 bisection %.2f not well below full tree %.2f", cm5.BisectionFPC, full.BisectionFPC)
+	}
+}
+
+func TestSmallTreeTwoLevels(t *testing.T) {
+	tr := New(Config{Levels: 2, Seed: 8}) // 16 nodes
+	if tr.Nodes() != 16 {
+		t.Fatalf("nodes = %d", tr.Nodes())
+	}
+	h := topotest.NewHarness(t, tr)
+	h.AllPairs(8)
+	h.Run(2000000)
+	h.CheckDrained()
+}
+
+func TestBigTreeFourLevels(t *testing.T) {
+	tr := New(Config{Levels: 4, Seed: 9}) // 256 nodes
+	if tr.Nodes() != 256 {
+		t.Fatalf("nodes = %d", tr.Nodes())
+	}
+	c := tr.Chars()
+	if c.MaxHops != 8 {
+		t.Fatalf("max hops = %d, want 8", c.MaxHops)
+	}
+	h := topotest.NewHarness(t, tr)
+	h.EnqueueRandom(300, 8, 10)
+	h.Run(400000)
+	h.CheckDrained()
+}
+
+func TestRouteReachesDestinationProperty(t *testing.T) {
+	for _, variant := range []Variant{Full, CM5} {
+		tr := New(Config{Variant: variant, Seed: 11})
+		f := func(a, b uint8, adapt uint8) bool {
+			src, dst := int(a)%64, int(b)%64
+			if src == dst {
+				return true
+			}
+			p := &packet.Packet{Src: src, Dst: dst, Words: 8, Dialog: packet.NoDialog}
+			// Walk the route, always taking candidate (adapt mod len).
+			l, w := 0, src/tr.cfg.Arity
+			for hop := 0; hop < 10; hop++ {
+				choices := tr.route(l, w, p, nil)
+				if len(choices) == 0 {
+					return false
+				}
+				ch := choices[int(adapt)%len(choices)]
+				logical := ch.Port / tr.classes
+				if logical < tr.cfg.Arity { // down
+					if l == 0 {
+						return w*tr.cfg.Arity+logical == dst
+					}
+					l, w = l-1, tr.setDigit(w, l-1, logical)
+					// The freed digit is chosen by the down port: lower
+					// router digit l-1... recompute properly below.
+				} else { // up
+					m := logical - tr.cfg.Arity
+					w = tr.setDigit(w, l, m)
+					l = l + 1
+				}
+			}
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+	}
+}
+
+func TestFaultyTreeStillDelivers(t *testing.T) {
+	tr := New(Config{Seed: 20, KillTopRouters: 8})
+	h := topotest.NewHarness(t, tr)
+	h.EnqueueRandom(200, 8, 21)
+	h.Run(600000)
+	h.CheckDrained()
+}
+
+func TestFaultyTreeDisconnectPanics(t *testing.T) {
+	// Killing 15 of 16 top positions leaves some leaf-parent groups with no
+	// live parent; the constructor must refuse rather than build a fabric
+	// that wedges.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for disconnecting fault pattern")
+		}
+	}()
+	New(Config{Seed: 22, KillTopRouters: 15})
+}
+
+func TestFaultSlowsTreeUnderLoad(t *testing.T) {
+	// Same offered load, fewer top routers: completion must not be faster.
+	run := func(kill int) int64 {
+		tr := New(Config{Seed: 23, KillTopRouters: kill})
+		h := topotest.NewHarness(t, tr)
+		for s := 0; s < 32; s++ {
+			for i := 0; i < 4; i++ {
+				h.Enqueue(s, 32+(s+i)%32, 8, packet.Request)
+			}
+		}
+		got := h.Run(2000000)
+		var last int64
+		for _, p := range got {
+			if p.DeliveredAt > last {
+				last = p.DeliveredAt
+			}
+		}
+		return last
+	}
+	healthy, faulty := run(0), run(8)
+	if faulty < healthy {
+		t.Fatalf("faulty tree (%d) finished before healthy (%d)", faulty, healthy)
+	}
+}

@@ -1,0 +1,87 @@
+// Package topo defines the interface all simulated network fabrics satisfy
+// and the characteristics the paper's Table 3 reports for each (hop counts,
+// network volume, bisection bandwidth, in-order behaviour).
+//
+// Concrete topologies live in subpackages: mesh (2-D/3-D meshes and tori),
+// fattree (full 4-ary and CM-5 variants), and butterfly (radix-4 butterfly
+// and dilated multibutterfly).
+package topo
+
+import (
+	"fmt"
+
+	"nifdy/internal/rng"
+	"nifdy/internal/router"
+	"nifdy/internal/sim"
+)
+
+// Characteristics summarizes a network the way the paper's Table 3 does.
+type Characteristics struct {
+	// Name is a short human-readable identifier ("8x8 mesh").
+	Name string
+	// Nodes is the number of end points.
+	Nodes int
+	// AvgHops and MaxHops are router-to-router distances over all ordered
+	// pairs of distinct nodes.
+	AvgHops float64
+	MaxHops int
+	// VolumeFlits is the total router input buffering in flits (all virtual
+	// channels, both logical networks), the paper's "network volume".
+	VolumeFlits int
+	// BisectionFPC is the bisection bandwidth in flits per cycle, counting
+	// unidirectional links crossing the worst-case even cut.
+	BisectionFPC float64
+	// InOrder reports whether the fabric is single-path deterministic and
+	// therefore delivers packets between any pair in order by construction.
+	InOrder bool
+}
+
+func (c Characteristics) String() string {
+	return fmt.Sprintf("%s: N=%d avg_d=%.1f max_d=%d vol=%d flits bisect=%.1f f/c inorder=%v",
+		c.Name, c.Nodes, c.AvgHops, c.MaxHops, c.VolumeFlits, c.BisectionFPC, c.InOrder)
+}
+
+// Network is a fabric with one interface port per node. Routers tick under
+// the engine; Ifaces are ticked by the NIC that owns them.
+type Network interface {
+	// Nodes reports the number of end points.
+	Nodes() int
+	// Iface returns node n's interface port.
+	Iface(n int) *router.Iface
+	// RegisterRouters registers the fabric's routers with the engine.
+	RegisterRouters(e *sim.Engine)
+	// Chars reports the Table 3 characteristics.
+	Chars() Characteristics
+	// BufferedFlits reports flits currently buffered inside the fabric
+	// (congestion/occupancy metric; excludes iface ejection buffers).
+	BufferedFlits() int
+}
+
+// IfaceOptions are the knobs every topology passes through to its node
+// interfaces.
+type IfaceOptions struct {
+	// BufFlits is the ejection buffer depth per VC; it must be at least the
+	// largest packet size used. Zero selects 8 (the synthetic packet size).
+	BufFlits int
+	// DropProb enables the lossy-network model (§6.2 extension).
+	DropProb float64
+	// Seed seeds per-node loss RNG streams.
+	Seed uint64
+}
+
+// EffectiveBufFlits applies the default.
+func (o IfaceOptions) EffectiveBufFlits() int {
+	if o.BufFlits <= 0 {
+		return 8
+	}
+	return o.BufFlits
+}
+
+// LossRNG returns a per-node loss stream, or nil when the network is
+// reliable.
+func (o IfaceOptions) LossRNG(node uint64) *rng.Source {
+	if o.DropProb <= 0 {
+		return nil
+	}
+	return rng.NewStream(o.Seed^0x10551055, node)
+}

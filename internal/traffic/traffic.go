@@ -1,0 +1,167 @@
+// Package traffic implements the paper's synthetic bursty workloads (§4.1):
+// phases separated by global barriers; sending nodes pick a random
+// destination and message length, blast the message as fast as possible,
+// and immediately move to the next message until the phase quota is done.
+//
+// Two standard patterns are provided. Heavy: every node sends each phase,
+// message lengths uniform on [1,5] packets. Light: each node sends with
+// probability 1/3 per phase, the length distribution includes 10- and
+// 20-packet messages (most messages short, long messages carrying most
+// packets), and nodes enter pseudo-random non-responsive periods during
+// which they neither send nor pull from the network.
+//
+// Per-node dedicated PRNG streams guarantee the same burst sequence
+// regardless of network and NIC configuration (§3).
+package traffic
+
+import (
+	"nifdy/internal/node"
+	"nifdy/internal/packet"
+	"nifdy/internal/rng"
+	"nifdy/internal/sim"
+)
+
+// Length is one entry of a message-length distribution.
+type Length struct {
+	Packets int
+	Weight  int
+}
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	// Nodes is the machine size.
+	Nodes int
+	// Seed drives all per-node streams.
+	Seed uint64
+	// Phases is the number of barrier-separated phases.
+	Phases int
+	// PacketsPerPhase is each sending node's per-phase quota (the paper
+	// uses "typically 100 to 300").
+	PacketsPerPhase int
+	// Words is the packet size in words; zero selects 8 (§3).
+	Words int
+	// SendProb is the probability a node sends in a phase (1 = heavy,
+	// 1/3 = light).
+	SendProb float64
+	// Lengths is the message-length distribution.
+	Lengths []Length
+	// BulkThreshold: messages with at least this many packets request a
+	// bulk dialog; zero disables bulk requests.
+	BulkThreshold int
+	// IgnoreProb is the per-message probability that a node takes a
+	// non-responsive period of IgnoreLen cycles first (light traffic).
+	IgnoreProb float64
+	// IgnoreLen is the non-responsive period length in cycles.
+	IgnoreLen sim.Cycle
+	// HotspotProb skews destination selection: with this probability a
+	// message targets HotspotNode instead of a uniform destination — the
+	// hot-spot congestion source of §1.1.
+	HotspotProb float64
+	// HotspotNode is the hot destination.
+	HotspotNode int
+}
+
+// Heavy returns the paper's heavy pattern for n nodes.
+func Heavy(n int, seed uint64) Config {
+	return Config{
+		Nodes: n, Seed: seed, Phases: 4, PacketsPerPhase: 100, Words: 8,
+		SendProb:      1.0,
+		Lengths:       []Length{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}},
+		BulkThreshold: 3,
+	}
+}
+
+// Light returns the paper's light pattern for n nodes.
+func Light(n int, seed uint64) Config {
+	return Config{
+		Nodes: n, Seed: seed, Phases: 4, PacketsPerPhase: 100, Words: 8,
+		SendProb: 1.0 / 3.0,
+		Lengths: []Length{
+			{1, 6}, {2, 4}, {3, 3}, {4, 2}, {5, 2}, {10, 2}, {20, 2},
+		},
+		BulkThreshold: 3,
+		IgnoreProb:    0.15, IgnoreLen: 2000,
+	}
+}
+
+func (c *Config) defaults() {
+	if c.Words == 0 {
+		c.Words = 8
+	}
+	if c.Phases == 0 {
+		c.Phases = 1
+	}
+}
+
+// Gen builds the per-node programs for one synthetic run. All programs share
+// one barrier and one packet ID source; the engine must run them together.
+type Gen struct {
+	cfg Config
+	bar *node.Barrier
+	ids *packet.IDSource
+	// msgSeq disambiguates message IDs across nodes.
+	msgSeq uint64
+}
+
+// NewGen returns a generator for cfg using ids for packet identities.
+func NewGen(cfg Config, ids *packet.IDSource) *Gen {
+	cfg.defaults()
+	if ids == nil {
+		ids = &packet.IDSource{}
+	}
+	return &Gen{cfg: cfg, bar: node.NewBarrier(cfg.Nodes), ids: ids}
+}
+
+// Program returns node n's program.
+func (g *Gen) Program(n int) node.Program {
+	cfg := g.cfg
+	r := rng.NewStream(cfg.Seed, uint64(n))
+	weights := make([]int, len(cfg.Lengths))
+	for i, l := range cfg.Lengths {
+		weights[i] = l.Weight
+	}
+	return func(p *node.Proc) {
+		for phase := 0; phase < cfg.Phases; phase++ {
+			sending := r.Float64() < cfg.SendProb
+			if sending {
+				sent := 0
+				for sent < cfg.PacketsPerPhase {
+					if cfg.IgnoreProb > 0 && r.Float64() < cfg.IgnoreProb {
+						// Non-responsive period: neither send nor pull.
+						p.Consume(cfg.IgnoreLen)
+					}
+					dst := r.Intn(cfg.Nodes - 1)
+					if dst >= n {
+						dst++
+					}
+					if cfg.HotspotProb > 0 && cfg.HotspotNode != n && r.Float64() < cfg.HotspotProb {
+						dst = cfg.HotspotNode
+					}
+					length := cfg.Lengths[r.Pick(weights)].Packets
+					g.msgSeq++
+					msg := g.msgSeq
+					bulk := cfg.BulkThreshold > 0 && length >= cfg.BulkThreshold
+					for i := 0; i < length; i++ {
+						pk := &packet.Packet{
+							ID: g.ids.Next(), Src: n, Dst: dst,
+							Words: cfg.Words, Class: packet.Request,
+							Dialog:  packet.NoDialog,
+							BulkReq: bulk && i < length-1,
+							Meta:    packet.Meta{MsgID: msg, Index: i, Total: length},
+						}
+						p.Send(pk)
+						sent++
+						// Service arrivals between sends so other senders'
+						// packets do not rot in the arrivals queue.
+						for p.HasPending() {
+							p.Recv()
+						}
+					}
+				}
+			}
+			// Bulk-synchronous phase end: wait for everyone, servicing
+			// arrivals while parked.
+			p.Barrier(g.bar, nil)
+		}
+	}
+}

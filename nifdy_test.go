@@ -1,0 +1,179 @@
+package nifdy_test
+
+import (
+	"strings"
+	"testing"
+
+	"nifdy"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	// The README quick-start flow: send one packet node 0 -> 63 over the
+	// full fat tree with NIFDY NICs, using the public API only.
+	var got *nifdy.Packet
+	sys := nifdy.New(nifdy.Options{
+		Net:  nifdy.FullFatTree(),
+		Kind: nifdy.KindNIFDY,
+		Program: func(n int) nifdy.Program {
+			switch n {
+			case 0:
+				return func(p *nifdy.Proc) {
+					p.Send(&nifdy.Packet{ID: 1, Src: 0, Dst: 63, Words: 8,
+						Class: nifdy.Request, Dialog: nifdy.NoDialog})
+				}
+			case 63:
+				return func(p *nifdy.Proc) { got = p.Recv() }
+			default:
+				return func(p *nifdy.Proc) {}
+			}
+		},
+	})
+	defer sys.Close()
+	ok, _ := sys.RunUntilDone(200_000)
+	if !ok || got == nil || got.Src != 0 {
+		t.Fatalf("quickstart failed: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestPublicNetworkList(t *testing.T) {
+	specs := nifdy.StandardNetworks()
+	if len(specs) != 8 {
+		t.Fatalf("%d standard networks", len(specs))
+	}
+	for _, s := range specs {
+		if s.Build(1, nifdy.IfaceOptions{}).Nodes() != 64 {
+			t.Fatalf("%s: wrong size", s.Name)
+		}
+	}
+}
+
+func TestPublicChars(t *testing.T) {
+	spec := nifdy.Mesh2D()
+	net := spec.Build(1, nifdy.IfaceOptions{})
+	c := net.Chars()
+	if c.Nodes != 64 || !c.InOrder {
+		t.Fatalf("chars %+v", c)
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if !strings.Contains(nifdy.Table2().String(), "T_send") {
+		t.Fatal("Table2 malformed")
+	}
+	if nifdy.Table3(1).NumRows() != 8 {
+		t.Fatal("Table3 rows")
+	}
+}
+
+func TestPublicCostsAndBarrier(t *testing.T) {
+	if c := nifdy.CM5Costs(); c.Send != 40 {
+		t.Fatalf("costs %+v", c)
+	}
+	if nifdy.NewBarrier(4) == nil {
+		t.Fatal("barrier")
+	}
+}
+
+func TestPublicBulkTransferInOrder(t *testing.T) {
+	// Public-API version of the headline property: a 20-packet burst over
+	// the reordering fat tree arrives in order through a bulk dialog.
+	const n = 20
+	var got []int
+	sys := nifdy.New(nifdy.Options{
+		Net:  nifdy.FullFatTree(),
+		Kind: nifdy.KindNIFDY,
+		Seed: 9,
+		Program: func(nd int) nifdy.Program {
+			switch nd {
+			case 0:
+				return func(p *nifdy.Proc) {
+					for i := 0; i < n; i++ {
+						p.Send(&nifdy.Packet{
+							ID: uint64(i + 1), Src: 0, Dst: 63, Words: 8,
+							Class: nifdy.Request, Dialog: nifdy.NoDialog,
+							BulkReq: i < n-1,
+						})
+					}
+				}
+			case 63:
+				return func(p *nifdy.Proc) {
+					for i := 0; i < n; i++ {
+						got = append(got, int(p.Recv().ID))
+					}
+				}
+			default:
+				return nil
+			}
+		},
+	})
+	defer sys.Close()
+	if ok, _ := sys.RunUntilDone(1_000_000); !ok {
+		t.Fatalf("transfer incomplete: %d/%d", len(got), n)
+	}
+	for i, id := range got {
+		if id != i+1 {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if sys.AggregateStats().BulkGrants == 0 {
+		t.Fatal("no bulk dialog was granted")
+	}
+}
+
+func TestPublicLossyNetwork(t *testing.T) {
+	// Public-API lossy run: retransmission hides a 10% drop rate.
+	var got int
+	sys := nifdy.New(nifdy.Options{
+		Net:    nifdy.Mesh2D(),
+		Kind:   nifdy.KindNIFDY,
+		Seed:   11,
+		Drop:   0.1,
+		Params: nifdy.Config{O: 4, B: 4, D: 1, W: 2, Retransmit: true, RetransmitTimeout: 1500},
+		Program: func(nd int) nifdy.Program {
+			switch nd {
+			case 0:
+				return func(p *nifdy.Proc) {
+					for i := 0; i < 10; i++ {
+						p.Send(&nifdy.Packet{ID: uint64(i + 1), Src: 0, Dst: 63,
+							Words: 8, Class: nifdy.Request, Dialog: nifdy.NoDialog})
+					}
+				}
+			case 63:
+				return func(p *nifdy.Proc) {
+					for got < 10 {
+						p.Recv()
+						got++
+					}
+				}
+			default:
+				return nil
+			}
+		},
+	})
+	defer sys.Close()
+	if ok, _ := sys.RunUntilDone(5_000_000); !ok {
+		t.Fatalf("lossy transfer incomplete: %d/10", got)
+	}
+}
+
+func TestPublicAggregateStats(t *testing.T) {
+	sys := nifdy.New(nifdy.Options{
+		Net: nifdy.Butterfly(), Kind: nifdy.KindNIFDY, Seed: 5,
+		Program: func(nd int) nifdy.Program {
+			if nd != 0 {
+				return nil
+			}
+			return func(p *nifdy.Proc) {
+				p.Send(&nifdy.Packet{ID: 1, Src: 0, Dst: 7, Words: 8,
+					Class: nifdy.Request, Dialog: nifdy.NoDialog})
+			}
+		},
+	})
+	defer sys.Close()
+	sys.RunUntilDone(100_000)
+	sys.Eng.Run(5_000) // let the unclaimed delivery settle
+	agg := sys.AggregateStats()
+	if agg.Sent != 1 || agg.Injected != 1 {
+		t.Fatalf("stats %+v", agg)
+	}
+}
