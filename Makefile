@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-smoke bench baseline clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate (see ROADMAP.md): everything must pass before
+# a PR lands.
+check: build vet test
+
+# race exercises the concurrency-heavy packages — the engine's worker
+# pool and quiescence protocol, the harness's concurrent simulations,
+# and the goroutine-per-node processors — under the race detector.
+race:
+	$(GO) test -race -count=1 -timeout 3600s ./internal/sim/... ./internal/harness/... ./internal/node/... ./internal/core/...
+
+# bench-smoke runs one iteration of the engine microbenchmarks and the
+# cheap end-to-end cycle benchmark: enough to catch gross regressions
+# without the multi-minute figure benchmarks.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkStep|BenchmarkSimCycleMesh' -benchtime 1x ./internal/sim/... .
+
+# bench runs the full-figure wall-clock benchmarks (several minutes).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFigure2Heavy|BenchmarkFigure3Light' -benchtime 1x -timeout 1800s .
+
+# baseline regenerates the committed BENCH_<date>.json perf/metrics
+# baseline from the reduced-scale experiment suite.
+baseline:
+	$(GO) run ./cmd/nifdy-bench -json BENCH_$$(date -u +%F).json > /dev/null
+
+clean:
+	rm -f *.test *.prof *.out

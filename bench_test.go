@@ -208,6 +208,7 @@ func BenchmarkEngineParallel(b *testing.B) {
 	})
 	b.Run("parallel4", func(b *testing.B) {
 		eng := sim.NewParallel(4)
+		defer eng.Close()
 		build(eng, 4)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

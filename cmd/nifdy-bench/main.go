@@ -5,6 +5,7 @@
 //	nifdy-bench -exp all                 # everything, reduced scale
 //	nifdy-bench -exp f2 -full            # Figure 2 at paper scale (1M cycles)
 //	nifdy-bench -exp t3sweep -net mesh   # parameter sweep for one network
+//	nifdy-bench -json BENCH_$(date +%F).json   # also record a perf baseline
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
 // coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
@@ -16,31 +17,77 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"nifdy"
+	"nifdy/internal/stats"
 )
+
+// expRecord is one experiment's entry in the -json baseline file: how long
+// it took and the tables it reported, so future changes can be compared
+// against both the timing and the numbers.
+type expRecord struct {
+	Name    string            `json:"name"`
+	NsPerOp int64             `json:"ns_per_op"`
+	Metrics []json.RawMessage `json:"metrics,omitempty"`
+}
+
+// benchFile is the top-level shape of the -json output.
+type benchFile struct {
+	Date        string      `json:"date"`
+	GoVersion   string      `json:"go_version"`
+	GOARCH      string      `json:"goarch"`
+	Seed        uint64      `json:"seed"`
+	Full        bool        `json:"full"`
+	Experiments []expRecord `json:"experiments"`
+}
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,all)")
-		full = flag.Bool("full", false, "paper-scale budgets instead of reduced")
-		seed = flag.Uint64("seed", 1995, "experiment seed")
-		net  = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
+		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,all)")
+		full    = flag.Bool("full", false, "paper-scale budgets instead of reduced")
+		seed    = flag.Uint64("seed", 1995, "experiment seed")
+		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
+		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
 	)
 	flag.Parse()
 
+	if *jsonOut != "" {
+		// Fail on an unwritable path now, not after an hour of experiments.
+		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	var records []expRecord
+
 	run := func(id string) {
+		// Table-producing cases register their tables here; after the switch
+		// they become the experiment's metrics in the -json baseline.
+		var tables []*stats.Table
+		collect := func(ts ...*stats.Table) {
+			tables = append(tables, ts...)
+		}
+		var extra []json.RawMessage
 		start := time.Now()
 		switch id {
 		case "t2":
-			fmt.Println(nifdy.Table2())
+			tbl := nifdy.Table2()
+			fmt.Println(tbl)
+			collect(tbl)
 		case "t3":
-			fmt.Println(nifdy.Table3(*seed))
+			tbl := nifdy.Table3(*seed)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "t3sweep":
 			spec, ok := netByName(*net)
 			if !ok {
@@ -59,14 +106,19 @@ func main() {
 				}
 				fmt.Printf("O=%-2d B=%-2d W=%-2d  delivered=%d\n", r.Params.O, r.Params.B, r.Params.W, r.Delivered)
 			}
+			if raw, err := json.Marshal(res); err == nil {
+				extra = append(extra, raw)
+			}
 		case "f2":
 			tbl := nifdy.Figure2(synthOpts(*full, *seed))
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
+			collect(tbl)
 		case "f3":
 			tbl := nifdy.Figure3(synthOpts(*full, *seed))
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
+			collect(tbl)
 		case "f4":
 			o := nifdy.Figure4Opts{Seed: *seed}
 			if *full {
@@ -76,6 +128,7 @@ func main() {
 			b, oo := nifdy.Figure4(o)
 			fmt.Println(b)
 			fmt.Println(oo)
+			collect(b, oo)
 		case "f5":
 			o := cshiftOpts(*full, *seed)
 			without, with := nifdy.Figure5(o)
@@ -88,77 +141,136 @@ func main() {
 			tbl := nifdy.Figure6(cshiftOpts(*full, *seed))
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("words/1000cyc", 0, 4))
+			collect(tbl)
 		case "f7":
-			fmt.Println(nifdy.EM3D(em3dOpts(*full, *seed, false)))
+			tbl := nifdy.EM3D(em3dOpts(*full, *seed, false))
+			fmt.Println(tbl)
+			collect(tbl)
 		case "f8":
-			fmt.Println(nifdy.EM3D(em3dOpts(*full, *seed, true)))
+			tbl := nifdy.EM3D(em3dOpts(*full, *seed, true))
+			fmt.Println(tbl)
+			collect(tbl)
 		case "f9":
 			o := nifdy.RadixOpts{Seed: *seed}
 			if !*full {
 				o.Nodes = 16
 				o.Buckets = 128
 			}
-			fmt.Println(nifdy.Figure9(o))
+			tbl := nifdy.Figure9(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "coalesce":
 			o := nifdy.RadixOpts{Seed: *seed}
 			if !*full {
 				o.Nodes = 16
 				o.Buckets = 128
 			}
-			fmt.Println(nifdy.RadixCoalesce(o))
+			tbl := nifdy.RadixCoalesce(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "lossy":
 			o := nifdy.LossyOpts{Seed: *seed}
 			if !*full {
 				o.Messages = 10
 			}
-			fmt.Println(nifdy.ExtLossy(o))
+			tbl := nifdy.ExtLossy(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "acks":
 			o := nifdy.AckOpts{Seed: *seed}
 			if *full {
 				o.Cycles = 1_000_000
 			}
-			fmt.Println(nifdy.ExtAckStrategies(o))
+			tbl := nifdy.ExtAckStrategies(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "piggyback":
 			o := nifdy.AckOpts{Seed: *seed}
 			if *full {
 				o.Cycles = 1_000_000
 			}
-			fmt.Println(nifdy.ExtPiggyback(o))
+			tbl := nifdy.ExtPiggyback(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "adaptive":
 			o := nifdy.AckOpts{Seed: *seed}
 			if *full {
 				o.Cycles = 1_000_000
 			}
-			fmt.Println(nifdy.ExtAdaptiveMesh(o))
+			tbl := nifdy.ExtAdaptiveMesh(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "hotspot":
 			o := nifdy.AckOpts{Seed: *seed}
 			if *full {
 				o.Cycles = 1_000_000
 			}
-			fmt.Println(nifdy.ExtHotspot(o))
+			tbl := nifdy.ExtHotspot(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "faults":
 			o := nifdy.AckOpts{Seed: *seed}
 			if *full {
 				o.Cycles = 1_000_000
 			}
-			fmt.Println(nifdy.ExtFaults(o))
+			tbl := nifdy.ExtFaults(o)
+			fmt.Println(tbl)
+			collect(tbl)
 		case "model":
-			fmt.Println(nifdy.ModelCheck(nifdy.ModelCheckOpts{Seed: *seed}))
+			tbl := nifdy.ModelCheck(nifdy.ModelCheckOpts{Seed: *seed})
+			fmt.Println(tbl)
+			collect(tbl)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonOut == "" {
+			return
+		}
+		rec := expRecord{Name: id, NsPerOp: elapsed.Nanoseconds(), Metrics: extra}
+		for _, t := range tables {
+			raw, err := t.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshal %s metrics: %v\n", id, err)
+				continue
+			}
+			rec.Metrics = append(rec.Metrics, raw)
+		}
+		records = append(records, rec)
 	}
 
 	if *exp == "all" {
 		for _, id := range []string{"t2", "t3", "model", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "coalesce", "lossy", "acks", "piggyback", "adaptive", "hotspot", "faults"} {
 			run(id)
 		}
-		return
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(id))
+		}
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+
+	if *jsonOut != "" {
+		out := benchFile{
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			GoVersion:   runtime.Version(),
+			GOARCH:      runtime.GOARCH,
+			Seed:        *seed,
+			Full:        *full,
+			Experiments: records,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal baseline: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote baseline to %s (%d experiments)\n", *jsonOut, len(records))
 	}
 }
 

@@ -61,6 +61,15 @@ type BuildOpts struct {
 	Seed uint64
 	// Drop enables the lossy-fabric model.
 	Drop float64
+	// EngineShards selects the engine: 0 or 1 builds the serial engine,
+	// larger values build sim.NewParallel(EngineShards). Every component
+	// still registers in shard 0 — wires connect all of them, and wired
+	// components must share a shard — so this exercises the worker-pool
+	// machinery rather than intra-sim parallelism; results are bit-identical
+	// to the serial engine.
+	EngineShards int
+	// DisableIdleSkip turns off quiescence skipping (determinism baseline).
+	DisableIdleSkip bool
 }
 
 // Sim is a wired simulation.
@@ -82,8 +91,15 @@ func Build(opts BuildOpts) *Sim {
 	}
 	ifOpts := topo.IfaceOptions{DropProb: opts.Drop, Seed: opts.Seed}
 	net := opts.Net.Build(opts.Seed, ifOpts)
+	eng := sim.New()
+	if opts.EngineShards > 1 {
+		eng = sim.NewParallel(opts.EngineShards)
+	}
+	if opts.DisableIdleSkip {
+		eng.SetIdleSkip(false)
+	}
 	s := &Sim{
-		Eng: sim.New(), Net: net,
+		Eng: eng, Net: net,
 		Pending: stats.NewPending(net.Nodes(), opts.PendingInterval),
 		IDs:     &packet.IDSource{},
 	}
@@ -140,7 +156,8 @@ func isZeroParams(c core.Config) bool {
 		!c.PerPacketBulkAcks && !c.Piggyback && !c.Retransmit
 }
 
-// Close stops all processor goroutines. Safe to call repeatedly.
+// Close stops all processor goroutines and the engine's worker pool. Safe to
+// call repeatedly.
 func (s *Sim) Close() {
 	if s.stopped {
 		return
@@ -149,6 +166,7 @@ func (s *Sim) Close() {
 	for _, p := range s.Procs {
 		p.Stop()
 	}
+	s.Eng.Close()
 }
 
 // Done reports whether every processor finished.

@@ -19,6 +19,9 @@ import (
 // the repository's main use of host parallelism (each simulation itself is
 // deterministic and single-threaded).
 func runParallel(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
 	workers := runtime.NumCPU()
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -26,7 +29,14 @@ func runParallel(tasks []func()) {
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan func())
+	// Buffer the full task list so the feeding loop never blocks: the workers
+	// start draining a fully loaded, already-closed channel instead of
+	// rendezvousing with the producer one task at a time.
+	ch := make(chan func(), len(tasks))
+	for _, f := range tasks {
+		ch <- f
+	}
+	close(ch)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -37,10 +47,6 @@ func runParallel(tasks []func()) {
 			}
 		}()
 	}
-	for _, f := range tasks {
-		ch <- f
-	}
-	close(ch)
 	wg.Wait()
 }
 

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelExecutesAll(t *testing.T) {
+	var n atomic.Int64
+	var tasks []func()
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, func() { n.Add(1) })
+	}
+	runParallel(tasks)
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestRunParallelFewerTasksThanWorkers(t *testing.T) {
+	// Exactly one task: fewer tasks than CPUs. The buffered feed must not
+	// deadlock and the task must run exactly once.
+	var n atomic.Int64
+	runParallel([]func(){func() { n.Add(1) }})
+	if n.Load() != 1 {
+		t.Fatalf("single task ran %d times", n.Load())
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	runParallel(nil)        // must return immediately
+	runParallel([]func(){}) // and for an empty non-nil slice
+}

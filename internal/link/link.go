@@ -12,10 +12,16 @@ import "nifdy/internal/sim"
 // Wire is a fixed-latency, in-order event pipe. Events sent at cycle t are
 // receivable at cycle t+latency (minimum 1, so that a Tick-phase send is
 // never visible to a same-cycle Tick elsewhere).
+//
+// A wire may be observed by its consumer's sim.Activity: every send then
+// re-arms the consumer for the event's arrival cycle, which is the wake edge
+// that makes the engine's quiescence skipping safe — a sleeping consumer is
+// always woken no later than the cycle its input changes.
 type Wire[T any] struct {
 	latency sim.Cycle
 	events  []timed[T]
 	head    int
+	obs     *sim.Activity
 }
 
 type timed[T any] struct {
@@ -35,6 +41,21 @@ func NewWire[T any](latency int) *Wire[T] {
 // Latency reports the wire delay in cycles.
 func (w *Wire[T]) Latency() int { return int(w.latency) }
 
+// Observe registers the consumer's activity: every subsequent send wakes it
+// at the event's arrival cycle. The consumer must live in the same engine
+// shard as all of the wire's senders.
+func (w *Wire[T]) Observe(a *sim.Activity) { w.obs = a }
+
+// NextAt reports the arrival cycle of the oldest unconsumed event, or
+// sim.Never when the wire is empty — the time a quiescent consumer may
+// sleep until.
+func (w *Wire[T]) NextAt() sim.Cycle {
+	if w.head < len(w.events) {
+		return w.events[w.head].at
+	}
+	return sim.Never
+}
+
 // Send schedules v for arrival at now+latency.
 func (w *Wire[T]) Send(now sim.Cycle, v T) {
 	w.SendAt(now+w.latency, v)
@@ -47,6 +68,9 @@ func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
 		panic("link: out-of-order SendAt")
 	}
 	w.events = append(w.events, timed[T]{at, v})
+	if w.obs != nil {
+		w.obs.WakeAt(at)
+	}
 }
 
 // Recv pops the oldest event whose arrival time has come. ok is false when
@@ -96,8 +120,20 @@ func NewLink[T any](cyclesPerFlit, latency int) *Link[T] {
 // CyclesPerFlit reports the serialization time of one flit.
 func (l *Link[T]) CyclesPerFlit() int { return int(l.cyclesPerFlit) }
 
+// Observe registers the consumer's activity with the underlying wire (see
+// Wire.Observe).
+func (l *Link[T]) Observe(a *sim.Activity) { l.wire.Observe(a) }
+
+// NextAt reports the arrival cycle of the oldest in-flight flit, or
+// sim.Never when none is in flight.
+func (l *Link[T]) NextAt() sim.Cycle { return l.wire.NextAt() }
+
 // CanSend reports whether the link is idle this cycle.
 func (l *Link[T]) CanSend(now sim.Cycle) bool { return now >= l.busyUntil }
+
+// FreeAt reports the first cycle at which CanSend is true again — the time a
+// sender blocked only on link occupancy may sleep until.
+func (l *Link[T]) FreeAt() sim.Cycle { return l.busyUntil }
 
 // Send transmits one flit; the link stays busy for CyclesPerFlit cycles.
 // Callers must check CanSend first.

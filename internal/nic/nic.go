@@ -72,6 +72,10 @@ type NIC interface {
 	// Idle reports whether the NIC holds no unsent or unacknowledged work
 	// (used for drain/termination checks).
 	Idle() bool
+	// ObserveDelivery registers an activity woken whenever a data packet
+	// becomes available to Recv — the wake edge that lets a processor parked
+	// on "something to poll" sleep instead of polling every cycle.
+	ObserveDelivery(a *sim.Activity)
 	// Stats exposes counters.
 	Stats() *Stats
 }
@@ -93,11 +97,12 @@ type BasicConfig struct {
 // baseline; sized to NIFDY's total buffering (at least half on the arrivals
 // side, per §3) it models the "buffers only" baseline.
 type Basic struct {
-	cfg   BasicConfig
-	iface *router.Iface
-	out   []*packet.Packet
-	arr   []*packet.Packet
-	stats Stats
+	cfg     BasicConfig
+	iface   *router.Iface
+	out     []*packet.Packet
+	arr     []*packet.Packet
+	deliver *sim.Activity // woken when a packet lands in arr
+	stats   Stats
 }
 
 // NewBasic returns a Basic NIC attached to iface.
@@ -117,6 +122,13 @@ func (b *Basic) Node() int { return b.cfg.Node }
 // Stats implements NIC.
 func (b *Basic) Stats() *Stats { return &b.stats }
 
+// Activity implements sim.IdleTicker: the NIC sleeps when it has nothing to
+// inject, nothing mid-flight in its iface, and nothing buffered to deliver.
+func (b *Basic) Activity() *sim.Activity { return b.iface.Activity() }
+
+// ObserveDelivery implements NIC.
+func (b *Basic) ObserveDelivery(a *sim.Activity) { b.deliver = a }
+
 // TrySend implements NIC.
 func (b *Basic) TrySend(now sim.Cycle, p *packet.Packet) bool {
 	if len(b.out) >= b.cfg.OutBuf {
@@ -126,6 +138,10 @@ func (b *Basic) TrySend(now sim.Cycle, p *packet.Packet) bool {
 	b.out = append(b.out, p)
 	b.stats.Sent++
 	b.cfg.Hooks.Send(p)
+	// The processor handed us work mid-cycle (it ticks after the NIC): make
+	// sure the scheduler runs the NIC next cycle, exactly as if it had
+	// never slept.
+	b.iface.Activity().Wake()
 	return true
 }
 
@@ -140,6 +156,9 @@ func (b *Basic) Recv(now sim.Cycle) (*packet.Packet, bool) {
 	p.AcceptedAt = now
 	b.stats.Accepted++
 	b.cfg.Hooks.Accept(p)
+	// Freed arrivals space may let a NIC blocked on a full queue pull the
+	// next reassembled packet: run it as if it had never slept.
+	b.iface.Activity().Wake()
 	return p, true
 }
 
@@ -157,13 +176,14 @@ func (b *Basic) Idle() bool {
 // class slot is free (head-of-line blocking is intentional — it is what the
 // NIFDY pool removes), and pull arrivals while the queue has room.
 func (b *Basic) Tick(now sim.Cycle) {
-	b.iface.Tick(now)
+	progress := b.iface.Pump(now)
 	if len(b.out) > 0 && b.iface.CanAccept(b.out[0].Class) {
 		p := b.out[0]
 		b.out[0] = nil
 		b.out = b.out[1:]
 		b.iface.StartSend(now, p)
 		b.stats.Injected++
+		progress = true
 	}
 	for len(b.arr) < b.cfg.ArrBuf {
 		p, ok := b.iface.Deliver(now, nil)
@@ -171,5 +191,23 @@ func (b *Basic) Tick(now sim.Cycle) {
 			break
 		}
 		b.arr = append(b.arr, p)
+		progress = true
+		if b.deliver != nil {
+			b.deliver.Wake()
+		}
+	}
+	if len(b.out) == 0 && b.iface.Quiet() {
+		// Quiescent: nothing to inject, serialize, or deliver. Arrivals the
+		// processor has not pulled (b.arr) don't need ticks — Recv bypasses
+		// the tick path — and the next fabric arrival re-wakes us.
+		b.iface.Activity().Sleep(b.iface.NextArrivalAt())
+	} else if !progress {
+		// Holding work but stuck this tick: nothing drained, injected, sent,
+		// or delivered. Each stuck reason resolves only through an external
+		// event — a flit arrival or credit return (wire observers), the busy
+		// output link going free (BlockedBound), a processor TrySend or a
+		// queue-freeing Recv (both wake explicitly) — so the state is a fixed
+		// point until then and skipping to it is bit-identical.
+		b.iface.Activity().Sleep(b.iface.BlockedBound(now))
 	}
 }

@@ -51,6 +51,10 @@ type Barrier struct {
 	n       int
 	arrived int
 	gen     uint64
+	// waiters are the activities of processors parked at the barrier; the
+	// last arrival wakes them all. Barrier state is only ever touched from
+	// program goroutines, which the engine runs one at a time.
+	waiters []*sim.Activity
 }
 
 // NewBarrier returns a barrier for n participants.
@@ -74,6 +78,21 @@ type Proc struct {
 	aborted   bool
 	started   bool
 
+	// act is the quiescence latch; timed/sleepUntil describe the current
+	// pause. Pure-time pauses (Consume) sleep the processor: they are
+	// satisfied by the clock alone, so waking exactly at sleepUntil is
+	// indistinguishable from polling every cycle. Barrier waits park (parked)
+	// with two wake edges covering their condition — the last barrier arrival
+	// wakes every waiter, and the NIC wakes its processor when a packet
+	// becomes pollable — so they too sleep. Other condition pauses (WaitUntil,
+	// and the backpressure retry in Send — the §4.5 swamping mechanism, which
+	// must keep servicing arrivals every cycle) depend on state with no wake
+	// edge and are re-evaluated every cycle.
+	act        sim.Activity
+	timed      bool
+	parked     bool
+	sleepUntil sim.Cycle
+
 	resume chan sim.Cycle
 	yield  chan struct{}
 
@@ -87,11 +106,14 @@ type Proc struct {
 // NewProc returns a processor running program on n's NIC. Call Start before
 // the first engine cycle and Stop when the experiment ends.
 func NewProc(id int, n nic.NIC, costs Costs, program Program) *Proc {
-	return &Proc{
+	p := &Proc{
 		id: id, nic: n, costs: costs, program: program,
 		resume: make(chan sim.Cycle),
 		yield:  make(chan struct{}),
 	}
+	// A freshly pollable packet re-runs a processor parked at a barrier.
+	n.ObserveDelivery(&p.act)
+	return p
 }
 
 // ID reports the node number.
@@ -138,16 +160,31 @@ func (p *Proc) Stop() {
 	<-p.yield
 }
 
+// Activity implements sim.IdleTicker: the processor sleeps through a pure
+// compute pause and permanently once its program completes.
+func (p *Proc) Activity() *sim.Activity { return &p.act }
+
 // Tick implements sim.Ticker: run the program while its blocking condition
 // is satisfied.
 func (p *Proc) Tick(now sim.Cycle) {
-	if !p.started || p.done {
+	if !p.started {
 		return
 	}
 	for !p.done && (p.cond == nil || p.cond(now)) {
 		p.cond = nil
+		p.timed = false
+		p.parked = false
 		p.resume <- now
 		<-p.yield
+	}
+	switch {
+	case p.done:
+		p.act.Sleep(sim.Never)
+	case p.timed:
+		p.act.Sleep(p.sleepUntil)
+	case p.parked:
+		// Barrier wait: the release and delivery wake edges re-arm us.
+		p.act.Sleep(sim.Never)
 	}
 }
 
@@ -162,6 +199,14 @@ func (p *Proc) pause(cond func(sim.Cycle) bool) {
 	}
 }
 
+// pauseUntil blocks the program until cycle t, marking the pause as purely
+// time-driven so the scheduler may skip the intervening cycles.
+func (p *Proc) pauseUntil(t sim.Cycle) {
+	p.timed = true
+	p.sleepUntil = t
+	p.pause(func(now sim.Cycle) bool { return now >= t })
+}
+
 // Now reports the current simulated cycle.
 func (p *Proc) Now() sim.Cycle { return p.now }
 
@@ -171,8 +216,7 @@ func (p *Proc) Consume(n sim.Cycle) {
 		p.busyUntil = p.now
 	}
 	p.busyUntil += n
-	t := p.busyUntil
-	p.pause(func(now sim.Cycle) bool { return now >= t })
+	p.pauseUntil(p.busyUntil)
 }
 
 // WaitUntil blocks without consuming cycles until pred holds (used for
@@ -280,6 +324,12 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
+		// Release: every parked participant resumes exactly the cycle its
+		// polled condition would have turned true.
+		for _, a := range b.waiters {
+			a.Wake()
+		}
+		b.waiters = b.waiters[:0]
 	}
 	for b.gen == gen {
 		if len(p.inbox) > 0 {
@@ -298,6 +348,13 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 			}
 			continue
 		}
+		// Park rather than poll: both ways the condition can turn true have
+		// wake edges — the last arrival wakes every waiter, and the NIC's
+		// delivery observer fires when a packet becomes pollable. The NIC
+		// ticks before its processor, so a same-cycle delivery still resumes
+		// us this cycle, exactly as polling would.
+		b.waiters = append(b.waiters, &p.act)
+		p.parked = true
 		p.pause(func(now sim.Cycle) bool { return b.gen != gen || p.nic.Pending() > 0 })
 	}
 }

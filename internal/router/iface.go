@@ -63,6 +63,10 @@ type Iface struct {
 
 	injectedPkts, deliveredPkts, droppedPkts int64
 	injectedFlits                            int64
+
+	// act is the quiescence latch shared by the iface and the NIC that
+	// ticks it: flit arrivals on any ejection channel wake it.
+	act sim.Activity
 }
 
 // NewIface returns an Iface for cfg.
@@ -92,8 +96,11 @@ func (f *Iface) ConnectOut(ch *Channel, routerDepth int) {
 }
 
 // ConnectOutClass attaches ch as the injection channel for one class only.
+// Credit returns on ch wake the owning NIC: a unit mid-serialization may be
+// blocked solely on router buffer credits.
 func (f *Iface) ConnectOutClass(c packet.Class, ch *Channel, routerDepth int) {
 	f.outCh[c] = ch
+	ch.Credits.Observe(&f.act)
 	base := int(c) * f.cfg.VCs
 	for v := 0; v < f.cfg.VCs; v++ {
 		f.credits[base+v] = routerDepth
@@ -108,7 +115,69 @@ func (f *Iface) ConnectIn(ch *Channel) {
 }
 
 // ConnectInClass attaches ch as the ejection channel for one class only.
-func (f *Iface) ConnectInClass(c packet.Class, ch *Channel) { f.inCh[c] = ch }
+// Arrivals on ch wake the owning NIC.
+func (f *Iface) ConnectInClass(c packet.Class, ch *Channel) {
+	f.inCh[c] = ch
+	ch.Flits.Observe(&f.act)
+}
+
+// Activity returns the quiescence latch shared by the iface and its NIC.
+func (f *Iface) Activity() *sim.Activity { return &f.act }
+
+// NextArrivalAt reports the earliest cycle at which a flit can arrive on any
+// ejection channel, or sim.Never when none is in flight.
+func (f *Iface) NextArrivalAt() sim.Cycle {
+	next := sim.Never
+	for c := 0; c < packet.NumClasses; c++ {
+		ch := f.inCh[c]
+		if ch == nil || (c > 0 && ch == f.inCh[c-1]) {
+			continue
+		}
+		if at := ch.Flits.NextAt(); at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// BlockedBound reports the time a NIC that made no progress this tick may
+// sleep until: the earliest flit arrival in flight, the earliest credit
+// return in flight (its wake edge fired while the unit was still awake, so
+// only the wire's content shows it now), or the cycle a busy serialization
+// slot's occupied output link goes free. Credits and flits sent after the
+// unit falls asleep re-arm it through the wire observers.
+func (f *Iface) BlockedBound(now sim.Cycle) sim.Cycle {
+	next := f.NextArrivalAt()
+	for c := 0; c < packet.NumClasses; c++ {
+		ch := f.outCh[c]
+		if ch == nil {
+			continue // scanning a shared channel twice just repeats the min
+		}
+		if at := ch.Credits.NextAt(); at < next {
+			next = at
+		}
+		if f.slots[c].p == nil {
+			continue
+		}
+		if at := ch.Flits.FreeAt(); at > now && at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// Quiet reports whether ticking the iface is a no-op absent new arrivals:
+// nothing mid-serialization on the injection side and nothing buffered on
+// the ejection side. Credit returns may still be in flight; they are
+// drained lazily on the next wake, before any send decision reads them.
+func (f *Iface) Quiet() bool {
+	for c := range f.slots {
+		if f.slots[c].p != nil {
+			return false
+		}
+	}
+	return f.ejected == 0
+}
 
 // BufFlits reports the ejection buffer depth per VC (the value the router's
 // local output port must be granted as credit).
@@ -134,15 +203,26 @@ func (f *Iface) StartSend(now sim.Cycle, p *packet.Packet) {
 // Sending reports the packet currently being serialized for class c, if any.
 func (f *Iface) Sending(c packet.Class) *packet.Packet { return f.slots[c].p }
 
-// Tick drains credits and arrivals, applies loss, and pushes flits onto the
-// local channel(s) — one flit per physical channel per cycle.
-func (f *Iface) Tick(now sim.Cycle) {
-	f.drainCredits(now)
-	f.drainArrivals(now)
-	f.sendFlits(now)
+// Tick implements sim.Ticker for an iface driven standalone (tests).
+func (f *Iface) Tick(now sim.Cycle) { f.Pump(now) }
+
+// Pump drains credits and arrivals, applies loss, and pushes flits onto the
+// local channel(s) — one flit per physical channel per cycle. It reports
+// whether any of that changed state (a pump that drained and sent nothing is
+// a no-op the scheduler may elide).
+func (f *Iface) Pump(now sim.Cycle) bool {
+	progress := f.drainCredits(now)
+	if f.drainArrivals(now) {
+		progress = true
+	}
+	if f.sendFlits(now) {
+		progress = true
+	}
+	return progress
 }
 
-func (f *Iface) drainCredits(now sim.Cycle) {
+func (f *Iface) drainCredits(now sim.Cycle) bool {
+	progress := false
 	for c := 0; c < packet.NumClasses; c++ {
 		ch := f.outCh[c]
 		if ch == nil || (c > 0 && ch == f.outCh[c-1]) {
@@ -154,11 +234,14 @@ func (f *Iface) drainCredits(now sim.Cycle) {
 				break
 			}
 			f.credits[cr.VC]++
+			progress = true
 		}
 	}
+	return progress
 }
 
-func (f *Iface) drainArrivals(now sim.Cycle) {
+func (f *Iface) drainArrivals(now sim.Cycle) bool {
+	progress := false
 	for c := 0; c < packet.NumClasses; c++ {
 		ch := f.inCh[c]
 		if ch == nil || (c > 0 && ch == f.inCh[c-1]) {
@@ -169,6 +252,7 @@ func (f *Iface) drainArrivals(now sim.Cycle) {
 			if !ok {
 				break
 			}
+			progress = true
 			vc := &f.eject[fl.VC]
 			if len(vc.q) >= f.cfg.BufFlits {
 				panic(fmt.Sprintf("iface %d: eject vc %d overflow", f.cfg.Node, fl.VC))
@@ -181,6 +265,7 @@ func (f *Iface) drainArrivals(now sim.Cycle) {
 			}
 		}
 	}
+	return progress
 }
 
 // extract removes all flits of p from eject vc g and returns their credits.
@@ -206,7 +291,7 @@ func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) {
 	}
 }
 
-func (f *Iface) sendFlits(now sim.Cycle) {
+func (f *Iface) sendFlits(now sim.Cycle) bool {
 	var used [packet.NumClasses]*Channel // channels that carried a flit this cycle
 	nUsed := 0
 	for k := 0; k < packet.NumClasses; k++ {
@@ -261,6 +346,7 @@ func (f *Iface) sendFlits(now sim.Cycle) {
 		nUsed++
 		f.clsRR = (ci + 1) % packet.NumClasses
 	}
+	return nUsed > 0
 }
 
 // Deliver pops the first fully reassembled packet satisfying pred (nil pred

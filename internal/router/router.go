@@ -80,6 +80,7 @@ type Router struct {
 	unrouted int // input VCs whose front flit is an unrouted head
 	inUsed   []bool
 	allocRR  int
+	act      sim.Activity
 }
 
 // New returns a Router for cfg. Ports start unconnected; unconnected ports
@@ -114,14 +115,25 @@ func (r *Router) VCs() int { return r.cfg.VCs }
 // BufFlits returns the per-VC input buffer depth.
 func (r *Router) BufFlits() int { return r.cfg.BufFlits }
 
-// ConnectIn attaches ch as the flit source for input port p.
-func (r *Router) ConnectIn(p int, ch *Channel) { r.in[p].ch = ch }
+// Activity implements sim.IdleTicker: the router sleeps whenever it holds
+// no flits, and flit arrivals on any input re-wake it.
+func (r *Router) Activity() *sim.Activity { return &r.act }
+
+// ConnectIn attaches ch as the flit source for input port p. Arrivals on ch
+// wake a sleeping router.
+func (r *Router) ConnectIn(p int, ch *Channel) {
+	r.in[p].ch = ch
+	ch.Flits.Observe(&r.act)
+}
 
 // ConnectOut attaches ch as output port p's channel. downstreamDepth is the
 // per-VC buffer depth of the input port at the far end (the initial credit).
+// Credit returns on ch wake the router: a router holding flits may be
+// blocked solely on downstream credits.
 func (r *Router) ConnectOut(p int, ch *Channel, downstreamDepth int) {
 	op := &r.out[p]
 	op.ch = ch
+	ch.Credits.Observe(&r.act)
 	op.initial = downstreamDepth
 	n := packet.NumClasses * r.cfg.VCs
 	op.credits = make([]int, n)
@@ -137,19 +149,85 @@ func (r *Router) BufferedFlits() int { return r.buffered }
 
 // Tick advances the router one cycle: drain arrivals and credits, allocate
 // routes and output VCs for new head flits, then forward one flit per free
-// output port.
+// output port. A tick that does none of those things leaves the router at a
+// fixed point, and the router sleeps until an event that can break it.
 func (r *Router) Tick(now sim.Cycle) {
-	r.receive(now)
+	progress := r.receive(now)
 	if r.buffered == 0 {
+		r.sleepEmpty()
 		return
 	}
-	if r.unrouted > 0 {
-		r.allocate()
+	if r.unrouted > 0 && r.allocate() {
+		progress = true
 	}
-	r.send(now)
+	if r.send(now) {
+		progress = true
+	}
+	if r.buffered == 0 {
+		r.sleepEmpty()
+	} else if !progress {
+		r.sleepBlocked(now)
+	}
 }
 
-func (r *Router) receive(now sim.Cycle) {
+// sleepEmpty parks the router until the next flit arrival on any input port.
+// With empty VC queues there are no output requesters, so allocation and
+// forwarding are no-ops, and credit returns may be drained lazily on wake —
+// the cumulative counts a future allocation observes are identical either
+// way. Wire observers re-arm the router for sends issued after it fell
+// asleep (a pending credit return may wake it early; the tick is then a
+// harmless drain).
+func (r *Router) sleepEmpty() {
+	next := sim.Never
+	for i := range r.in {
+		if ch := r.in[i].ch; ch != nil {
+			if at := ch.Flits.NextAt(); at < next {
+				next = at
+			}
+		}
+	}
+	r.act.Sleep(next)
+}
+
+// sleepBlocked parks a router that holds flits but made no progress this
+// tick: nothing arrived, nothing allocated, nothing forwarded. Every reason
+// a flit is stuck resolves only through an external event — a flit arrival
+// (SAF completion, missing body flits), a credit return (exhausted
+// downstream buffers), or an occupied output link going free — and
+// VC-ownership conflicts resolve only via this router's own tail sends,
+// which are progress and keep it awake. So the state is a fixed point until
+// the earliest such event, and skipping to it is bit-identical to ticking
+// through.
+func (r *Router) sleepBlocked(now sim.Cycle) {
+	next := sim.Never
+	for i := range r.in {
+		if ch := r.in[i].ch; ch != nil {
+			if at := ch.Flits.NextAt(); at < next {
+				next = at
+			}
+		}
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.ch == nil {
+			continue
+		}
+		if at := op.ch.Credits.NextAt(); at < next {
+			next = at
+		}
+		if len(op.reqs) > 0 {
+			if at := op.ch.Flits.FreeAt(); at > now && at < next {
+				next = at
+			}
+		}
+	}
+	r.act.Sleep(next)
+}
+
+// receive drains flit arrivals and credit returns, reporting whether it
+// drained anything (state changed).
+func (r *Router) receive(now sim.Cycle) bool {
+	progress := false
 	for i := range r.in {
 		ip := &r.in[i]
 		if ip.ch == nil {
@@ -160,6 +238,7 @@ func (r *Router) receive(now sim.Cycle) {
 			if !ok {
 				break
 			}
+			progress = true
 			v := &ip.vcs[f.VC]
 			if len(v.q) >= r.cfg.BufFlits {
 				panic(fmt.Sprintf("router %d: input %d vc %d overflow (credit protocol violated)", r.cfg.ID, i, f.VC))
@@ -181,6 +260,7 @@ func (r *Router) receive(now sim.Cycle) {
 			if !ok {
 				break
 			}
+			progress = true
 			op.credits[c.VC]++
 			if op.credits[c.VC] > op.initial {
 				// Credits can never exceed the initial grant.
@@ -188,12 +268,14 @@ func (r *Router) receive(now sim.Cycle) {
 			}
 		}
 	}
+	return progress
 }
 
 // allocate assigns an output port and downstream VC to every buffered head
-// flit that lacks one. Input VCs are scanned from a rotating offset so no VC
-// is systematically favored.
-func (r *Router) allocate() {
+// flit that lacks one, reporting whether any assignment was made. Input VCs
+// are scanned from a rotating offset so no VC is systematically favored.
+func (r *Router) allocate() bool {
+	assigned := false
 	nvc := packet.NumClasses * r.cfg.VCs
 	total := len(r.in) * nvc
 	start := r.allocRR
@@ -252,16 +334,20 @@ func (r *Router) allocate() {
 		v.outPort, v.outVC = bestPort, bestVC
 		v.choicesOK = false
 		r.unrouted--
+		assigned = true
 		// Rotate past the winner so competing inputs alternate even when
 		// packet lengths resonate with the scan period.
 		r.allocRR = idx + 1
 	}
+	return assigned
 }
 
 // send forwards at most one flit per output port, round-robin among the
 // input VCs routed to it, subject to credits, link availability, one flit
-// per input port per cycle, and (in SAF mode) whole-packet buffering.
-func (r *Router) send(now sim.Cycle) {
+// per input port per cycle, and (in SAF mode) whole-packet buffering. It
+// reports whether any flit was forwarded.
+func (r *Router) send(now sim.Cycle) bool {
+	sent := false
 	for i := range r.inUsed {
 		r.inUsed[i] = false
 	}
@@ -302,6 +388,7 @@ func (r *Router) send(now sim.Cycle) {
 				ip.ch.Credits.Send(now, Credit{VC: req.vc})
 			}
 			r.inUsed[req.in] = true
+			sent = true
 			if f.Tail() {
 				op.owner[v.outVC] = nil
 				v.outPort, v.outVC = -1, -1
@@ -317,6 +404,7 @@ func (r *Router) send(now sim.Cycle) {
 			break
 		}
 	}
+	return sent
 }
 
 // tailBuffered reports whether the tail flit of the packet at the head of v

@@ -12,14 +12,52 @@
 //
 // Because Tickers never observe another component's same-cycle writes, the
 // result is independent of tick order, which in turn makes the optional
-// sharded parallel execution (used as an ablation, experiment X3 in
-// DESIGN.md) bit-identical to serial execution.
+// sharded parallel execution (experiment X3 in DESIGN.md) bit-identical to
+// serial execution.
+//
+// # Hot path
+//
+// Three mechanisms keep the per-cycle cost proportional to activity rather
+// than to the number of registered components:
+//
+//   - Persistent workers. A parallel engine starts one long-lived goroutine
+//     per extra shard in NewParallel; Step releases them through a channel
+//     barrier (tick phase, barrier, flush phase, barrier) instead of
+//     spawning goroutines every cycle. Engine.Close parks them permanently.
+//
+//   - Quiescence skipping. A Ticker that also implements IdleTicker exposes
+//     an Activity — a wake-time latch. The scheduler skips any component
+//     whose Activity says it is asleep. The protocol invariant is that a
+//     component may only sleep while its Tick is a provable no-op, and must
+//     be woken (Activity.WakeAt) no later than the cycle any of its inputs
+//     can change; link.Wire drives those wake edges automatically for
+//     observed wires. Under that invariant skipping is bit-identical to
+//     ticking every cycle, which the golden determinism tests in
+//     internal/harness enforce on full experiment workloads.
+//
+//   - Dirty latch flushing. Latches registered with RegisterLatch are walked
+//     every cycle (sharded across the workers); latches bound to a shard's
+//     Flusher are walked only on cycles in which they were actually written.
+//
+// Shard discipline: components in different shards must not share mutable
+// non-latched state. That includes wires and Activities — a component, every
+// writer into its input wires, and every caller of its Activity must live in
+// the same shard. All production experiments run single-shard (host
+// parallelism comes from running independent simulations concurrently); the
+// multi-shard engine exists for partitionable workloads and as an ablation.
 package sim
 
-import "sync"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Cycle is a simulated time in cycles.
 type Cycle = int64
+
+// Never is a cycle later than any a simulation will reach; Activity.Sleep
+// with Never parks a component until an explicit wake.
+const Never Cycle = math.MaxInt64
 
 // Ticker is a component that does work each cycle. During Tick it may read
 // any latched state but must only mutate state it owns.
@@ -39,74 +77,254 @@ type TickFunc func(now Cycle)
 // Tick implements Ticker.
 func (f TickFunc) Tick(now Cycle) { f(now) }
 
+// Activity is the quiescence latch between one Ticker and the scheduler: it
+// holds the next cycle at which the component must run. The component is
+// skipped while that cycle is in the future.
+//
+// Lowering the wake time (Wake/WakeAt) is always safe and is how input
+// sources re-arm a sleeping consumer. Raising it (Sleep) is the owning
+// component's privilege, legal only when its Tick is a no-op until the given
+// cycle. The zero value is awake.
+type Activity struct {
+	wakeAt atomic.Int64
+}
+
+// WakeAt lowers the wake time to at most at: the component will run at cycle
+// at (or earlier). Never raises the wake time.
+func (a *Activity) WakeAt(at Cycle) {
+	for {
+		cur := a.wakeAt.Load()
+		if cur <= at {
+			return
+		}
+		if a.wakeAt.CompareAndSwap(cur, at) {
+			return
+		}
+	}
+}
+
+// Wake makes the component runnable immediately.
+func (a *Activity) Wake() { a.WakeAt(0) }
+
+// Sleep sets the wake time to until unconditionally. Only the owning
+// component may call it, and only when its Tick is a no-op for every cycle
+// before until (all inputs quiet; any already-scheduled input event must be
+// reflected in until).
+func (a *Activity) Sleep(until Cycle) { a.wakeAt.Store(until) }
+
+// Asleep reports whether the component would be skipped at cycle now.
+func (a *Activity) Asleep(now Cycle) bool { return a.wakeAt.Load() > now }
+
+// IdleTicker is a Ticker that participates in quiescence skipping. The
+// engine consults the returned Activity (which must be stable across calls)
+// before each Tick.
+type IdleTicker interface {
+	Ticker
+	Activity() *Activity
+}
+
+// Flusher is a per-shard dirty list: latches that mark themselves during the
+// Tick phase (Queue/Reg bound via their Bind methods) are flushed exactly
+// once in the following Flush phase, and untouched latches are never walked.
+// A latch bound to a Flusher must not also be passed to RegisterLatch.
+type Flusher struct {
+	dirty []Latch
+}
+
+// Mark schedules l for the next flush phase. Callers must mark at most once
+// per cycle per latch (Queue and Reg guarantee this with a dirty bit).
+func (f *Flusher) Mark(l Latch) { f.dirty = append(f.dirty, l) }
+
+// run flushes and clears the dirty list.
+func (f *Flusher) run() {
+	for i, l := range f.dirty {
+		l.Flush()
+		f.dirty[i] = nil
+	}
+	f.dirty = f.dirty[:0]
+}
+
+// shard is one scheduling unit: a tick list with its skip state, a static
+// flush list, and a dirty-latch flusher, plus the parked worker's channels.
+type shard struct {
+	tickers []Ticker
+	acts    []*Activity // parallel to tickers; nil entries always run
+	latches []Latch
+	flusher Flusher
+
+	start chan Cycle    // releases the worker into a tick phase
+	gate  chan struct{} // releases the worker into the flush phase
+}
+
 // Engine drives a set of Tickers and Latches through simulated cycles.
 type Engine struct {
-	now     Cycle
-	shards  [][]Ticker
-	latches []Latch
+	now    Cycle
+	shards []shard
 
 	parallel bool
-	wg       sync.WaitGroup
+	skip     bool
+	latchRR  int
+	phase    chan struct{} // workers report phase completion here
+	closed   bool
 }
 
-// New returns an Engine with a single shard, executing serially.
+// New returns an Engine with a single shard, executing serially, with
+// quiescence skipping enabled.
 func New() *Engine {
-	return &Engine{shards: make([][]Ticker, 1)}
+	return newEngine(1)
 }
 
-// NewParallel returns an Engine with n shards whose Tick phases run
-// concurrently. Components registered in different shards must not share
-// mutable non-latched state.
+// NewParallel returns an Engine with n shards whose Tick and Flush phases
+// run concurrently on persistent workers (one long-lived goroutine per shard
+// beyond the first; shard 0 runs on the stepping goroutine). Components
+// registered in different shards must not share mutable non-latched state.
+// Call Close when done with the engine to park the workers.
 func NewParallel(n int) *Engine {
 	if n < 1 {
 		n = 1
 	}
-	return &Engine{shards: make([][]Ticker, n), parallel: n > 1}
+	e := newEngine(n)
+	if n > 1 {
+		e.parallel = true
+		e.phase = make(chan struct{}, n-1)
+		for i := 1; i < n; i++ {
+			s := &e.shards[i]
+			s.start = make(chan Cycle, 1)
+			s.gate = make(chan struct{}, 1)
+			go e.worker(s)
+		}
+	}
+	return e
+}
+
+func newEngine(n int) *Engine {
+	return &Engine{shards: make([]shard, n), skip: true}
 }
 
 // Shards reports the number of shards.
 func (e *Engine) Shards() int { return len(e.shards) }
 
+// SetIdleSkip enables or disables quiescence skipping (enabled by default).
+// Disabling it ticks every component every cycle — the reference schedule
+// the golden determinism tests compare against.
+func (e *Engine) SetIdleSkip(on bool) { e.skip = on }
+
 // Register adds t to shard 0 (always valid).
 func (e *Engine) Register(t Ticker) { e.RegisterSharded(0, t) }
 
 // RegisterSharded adds t to the given shard. Within a shard, Tickers run in
-// registration order.
-func (e *Engine) RegisterSharded(shard int, t Ticker) {
-	e.shards[shard%len(e.shards)] = append(e.shards[shard%len(e.shards)], t)
+// registration order. If t implements IdleTicker its Activity governs
+// skipping. Registration is only legal between Steps.
+func (e *Engine) RegisterSharded(sh int, t Ticker) {
+	s := &e.shards[sh%len(e.shards)]
+	s.tickers = append(s.tickers, t)
+	var a *Activity
+	if it, ok := t.(IdleTicker); ok {
+		a = it.Activity()
+	}
+	s.acts = append(s.acts, a)
 }
 
-// RegisterLatch adds l to the flush list.
-func (e *Engine) RegisterLatch(l Latch) { e.latches = append(e.latches, l) }
+// RegisterLatch adds l to the every-cycle flush list. Flush work is sharded
+// round-robin across the workers; latch flush order is unspecified (latches
+// must be independent, which double-buffering guarantees).
+func (e *Engine) RegisterLatch(l Latch) {
+	e.RegisterLatchSharded(e.latchRR, l)
+	e.latchRR++
+}
+
+// RegisterLatchSharded adds l to the given shard's flush list. The latch
+// must only be written by Tickers of the same shard.
+func (e *Engine) RegisterLatchSharded(sh int, l Latch) {
+	s := &e.shards[sh%len(e.shards)]
+	s.latches = append(s.latches, l)
+}
+
+// Flusher returns the given shard's dirty-latch flusher, for binding latches
+// that should be flushed only on cycles they are written (Queue.Bind,
+// Reg.Bind).
+func (e *Engine) Flusher(sh int) *Flusher {
+	return &e.shards[sh%len(e.shards)].flusher
+}
 
 // Now returns the current cycle (the cycle about to be, or being, executed).
 func (e *Engine) Now() Cycle { return e.now }
 
-// Step executes one full cycle: all Ticks, then all Flushes.
-func (e *Engine) Step() {
-	now := e.now
-	if e.parallel {
-		e.wg.Add(len(e.shards))
-		for _, shard := range e.shards {
-			go func(ts []Ticker) {
-				defer e.wg.Done()
-				for _, t := range ts {
-					t.Tick(now)
-				}
-			}(shard)
-		}
-		e.wg.Wait()
-	} else {
-		for _, shard := range e.shards {
-			for _, t := range shard {
+// worker is the persistent loop of one extra shard: tick, report, wait for
+// the global tick barrier, flush, report.
+func (e *Engine) worker(s *shard) {
+	for now := range s.start {
+		e.tickShard(s, now)
+		e.phase <- struct{}{}
+		<-s.gate
+		e.flushShard(s)
+		e.phase <- struct{}{}
+	}
+}
+
+func (e *Engine) tickShard(s *shard, now Cycle) {
+	if e.skip {
+		for i, t := range s.tickers {
+			if a := s.acts[i]; a == nil || a.wakeAt.Load() <= now {
 				t.Tick(now)
 			}
 		}
+		return
 	}
-	for _, l := range e.latches {
+	for _, t := range s.tickers {
+		t.Tick(now)
+	}
+}
+
+func (e *Engine) flushShard(s *shard) {
+	s.flusher.run()
+	for _, l := range s.latches {
 		l.Flush()
 	}
+}
+
+// Step executes one full cycle: all Ticks, then all Flushes. The flush phase
+// starts only after every shard's tick phase has completed.
+func (e *Engine) Step() {
+	now := e.now
+	if e.parallel {
+		rest := e.shards[1:]
+		for i := range rest {
+			rest[i].start <- now
+		}
+		e.tickShard(&e.shards[0], now)
+		for range rest {
+			<-e.phase
+		}
+		for i := range rest {
+			rest[i].gate <- struct{}{}
+		}
+		e.flushShard(&e.shards[0])
+		for range rest {
+			<-e.phase
+		}
+	} else {
+		s := &e.shards[0]
+		e.tickShard(s, now)
+		e.flushShard(s)
+	}
 	e.now++
+}
+
+// Close parks the engine's persistent workers. The engine must not be
+// stepped afterwards. Safe to call repeatedly, and a no-op for serial
+// engines.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if !e.parallel {
+		return
+	}
+	for i := 1; i < len(e.shards); i++ {
+		close(e.shards[i].start)
+	}
 }
 
 // Run executes n cycles.

@@ -294,6 +294,7 @@ func BenchmarkStepSerial(b *testing.B) {
 
 func BenchmarkStepParallel(b *testing.B) {
 	e := NewParallel(4)
+	defer e.Close()
 	for i := 0; i < 256; i++ {
 		e.RegisterSharded(i, TickFunc(func(Cycle) {}))
 	}

@@ -9,6 +9,9 @@ type Queue[T any] struct {
 	cur     []T
 	pending []T
 	cap     int // total capacity (visible + pending); 0 = unbounded
+
+	fl     *Flusher
+	marked bool
 }
 
 // NewQueue returns a Queue with the given total capacity. capacity <= 0
@@ -22,6 +25,11 @@ func (q *Queue[T]) CanPush() bool {
 	return q.cap <= 0 || len(q.cur)+len(q.pending) < q.cap
 }
 
+// Bind routes this queue's flushes through f's dirty list: the queue is
+// flushed only on cycles it was pushed to. A bound queue must not also be
+// passed to RegisterLatch, and must only be pushed by Tickers of f's shard.
+func (q *Queue[T]) Bind(f *Flusher) { q.fl = f }
+
 // Push enqueues v to become visible next cycle. It reports whether the item
 // was accepted (false if the queue is full).
 func (q *Queue[T]) Push(v T) bool {
@@ -29,6 +37,10 @@ func (q *Queue[T]) Push(v T) bool {
 		return false
 	}
 	q.pending = append(q.pending, v)
+	if q.fl != nil && !q.marked {
+		q.marked = true
+		q.fl.Mark(q)
+	}
 	return true
 }
 
@@ -62,6 +74,7 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 
 // Flush implements Latch, publishing pending items.
 func (q *Queue[T]) Flush() {
+	q.marked = false
 	if len(q.pending) == 0 {
 		return
 	}
@@ -78,13 +91,23 @@ func (q *Queue[T]) Flush() {
 type Reg[T any] struct {
 	cur, next T
 	hasNext   bool
+
+	fl *Flusher
 }
+
+// Bind routes this register's flushes through f's dirty list: the register
+// is flushed only on cycles it was set. A bound register must not also be
+// passed to RegisterLatch, and must only be set by Tickers of f's shard.
+func (r *Reg[T]) Bind(f *Flusher) { r.fl = f }
 
 // Get returns the current value.
 func (r *Reg[T]) Get() T { return r.cur }
 
 // Set schedules v to become current at the next Flush.
 func (r *Reg[T]) Set(v T) {
+	if r.fl != nil && !r.hasNext {
+		r.fl.Mark(r)
+	}
 	r.next = v
 	r.hasNext = true
 }

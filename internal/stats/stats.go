@@ -23,6 +23,7 @@ type Pending struct {
 	interval sim.Cycle
 	samples  [][]int
 	times    []sim.Cycle
+	act      sim.Activity
 }
 
 // NewPending returns a tracker for nodes receivers sampling every interval
@@ -54,15 +55,25 @@ func (p *Pending) Max() int {
 	return m
 }
 
+// Activity implements sim.IdleTicker: the sampler sleeps between interval
+// boundaries (the hooks maintain counts without ticks).
+func (p *Pending) Activity() *sim.Activity { return &p.act }
+
 // Tick implements sim.Ticker: snapshot at every interval boundary.
 func (p *Pending) Tick(now sim.Cycle) {
-	if p.interval <= 0 || now%p.interval != 0 {
+	if p.interval <= 0 {
+		p.act.Sleep(sim.Never)
+		return
+	}
+	if now%p.interval != 0 {
+		p.act.Sleep(now - now%p.interval + p.interval)
 		return
 	}
 	snap := make([]int, len(p.counts))
 	copy(snap, p.counts)
 	p.samples = append(p.samples, snap)
 	p.times = append(p.times, now)
+	p.act.Sleep(now + p.interval)
 }
 
 // Samples returns the recorded snapshots and their cycle stamps.
