@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-smoke bench baseline clean
+.PHONY: build test vet race check bench-smoke bench bench-heavy benchdiff baseline clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ bench-smoke:
 # bench runs the full-figure wall-clock benchmarks (several minutes).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFigure2Heavy|BenchmarkFigure3Light' -benchtime 1x -timeout 1800s .
+
+# bench-heavy exercises the saturated data path: the Figure 2 heavy-traffic
+# experiment plus the per-cycle saturation benchmarks with allocation
+# reporting — the B/op columns are the zero-allocation contract.
+bench-heavy:
+	$(GO) test -run xxx -bench 'BenchmarkFigure2Heavy|BenchmarkSaturatedCycle' -benchmem -benchtime 1x -timeout 1800s .
+
+# benchdiff compares two committed BENCH_<date>.json baselines, failing on
+# a >10% ns/op regression: make benchdiff OLD=BENCH_a.json NEW=BENCH_b.json
+benchdiff:
+	./scripts/benchdiff.sh $(OLD) $(NEW)
 
 # baseline regenerates the committed BENCH_<date>.json perf/metrics
 # baseline from the reduced-scale experiment suite.

@@ -179,6 +179,41 @@ func BenchmarkSimCycleMesh(b *testing.B) {
 	b.ReportMetric(10_000, "simcycles/op")
 }
 
+// BenchmarkSaturatedCycle measures the steady-state cost of one simulated
+// cycle under saturation for each NIC kind, with allocation reporting: the
+// zero-allocation data path contract is that B/op stays at (near) zero once
+// the simulation is warm — every queue at its high-water mark, every packet
+// recycling through the per-node free-lists.
+func BenchmarkSaturatedCycle(b *testing.B) {
+	kinds := []struct {
+		name string
+		kind harness.NICKind
+	}{
+		{"nifdy", harness.NIFDY},
+		{"buffers", harness.BuffersOnly},
+		{"plain", harness.Plain},
+	}
+	for _, k := range kinds {
+		b.Run(k.name, func(b *testing.B) {
+			tcfg := traffic.Heavy(64, 7)
+			tcfg.Phases = 1 << 20
+			gen := traffic.NewGen(tcfg, nil)
+			s := harness.Build(harness.BuildOpts{Net: harness.Mesh2D(), Kind: k.kind, Seed: 7,
+				Program: func(n int) node.Program { return gen.Program(n) }})
+			defer s.Close()
+			// Warm past the transient: pools and rings grow to their
+			// high-water marks, after which the data path recycles.
+			s.Eng.Run(20_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Eng.Run(1_000)
+			}
+			b.ReportMetric(1_000, "simcycles/op")
+		})
+	}
+}
+
 // BenchmarkEngineParallel is the X3 ablation: the engine's sharded parallel
 // tick versus serial on a partitionable workload, verifying identical
 // results while measuring wall-clock.

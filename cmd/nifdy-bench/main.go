@@ -6,6 +6,8 @@
 //	nifdy-bench -exp f2 -full            # Figure 2 at paper scale (1M cycles)
 //	nifdy-bench -exp t3sweep -net mesh   # parameter sweep for one network
 //	nifdy-bench -json BENCH_$(date +%F).json   # also record a perf baseline
+//	nifdy-bench -exp f2 -cpuprofile cpu.prof   # profile an experiment's hot path
+//	nifdy-bench -exp f2 -memprofile mem.prof   # heap snapshot after it finishes
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
 // coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,8 +58,40 @@ func main() {
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
 		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
 		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", *cpuProf, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", *memProf, err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC() // settle to live objects before snapshotting the heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *jsonOut != "" {
 		// Fail on an unwritable path now, not after an hour of experiments.

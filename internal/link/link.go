@@ -21,7 +21,11 @@ type Wire[T any] struct {
 	latency sim.Cycle
 	events  []timed[T]
 	head    int
-	obs     *sim.Activity
+	// next caches events[head].at (sim.Never when empty) so the hot
+	// Ready/NextAt polls are a single field compare instead of a bounds
+	// check plus a load through the slice.
+	next sim.Cycle
+	obs  *sim.Activity
 }
 
 type timed[T any] struct {
@@ -35,7 +39,7 @@ func NewWire[T any](latency int) *Wire[T] {
 	if latency < 1 {
 		latency = 1
 	}
-	return &Wire[T]{latency: sim.Cycle(latency)}
+	return &Wire[T]{latency: sim.Cycle(latency), next: sim.Never}
 }
 
 // Latency reports the wire delay in cycles.
@@ -49,12 +53,7 @@ func (w *Wire[T]) Observe(a *sim.Activity) { w.obs = a }
 // NextAt reports the arrival cycle of the oldest unconsumed event, or
 // sim.Never when the wire is empty — the time a quiescent consumer may
 // sleep until.
-func (w *Wire[T]) NextAt() sim.Cycle {
-	if w.head < len(w.events) {
-		return w.events[w.head].at
-	}
-	return sim.Never
-}
+func (w *Wire[T]) NextAt() sim.Cycle { return w.next }
 
 // Send schedules v for arrival at now+latency.
 func (w *Wire[T]) Send(now sim.Cycle, v T) {
@@ -68,15 +67,33 @@ func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
 		panic("link: out-of-order SendAt")
 	}
 	w.events = append(w.events, timed[T]{at, v})
+	if at < w.next {
+		w.next = at
+	}
 	if w.obs != nil {
 		w.obs.WakeAt(at)
 	}
 }
 
+// Ready reports whether an event has arrived — the inlineable guard for hot
+// drain loops (`for w.Ready(now) { w.Recv(now) }`), so the common nothing-
+// arrived case costs a compare instead of a function call.
+func (w *Wire[T]) Ready(now sim.Cycle) bool { return w.next <= now }
+
 // Recv pops the oldest event whose arrival time has come. ok is false when
 // nothing has arrived yet.
 func (w *Wire[T]) Recv(now sim.Cycle) (v T, ok bool) {
-	if w.head >= len(w.events) || w.events[w.head].at > now {
+	if w.head >= len(w.events) {
+		if w.head > 0 {
+			// Fully drained: rewind to the front of the backing array
+			// (consumed slots are already zeroed) so future sends reuse it
+			// instead of creeping toward a new high-water mark.
+			w.events = w.events[:0]
+			w.head = 0
+		}
+		return v, false
+	}
+	if w.events[w.head].at > now {
 		// Compact the consumed prefix once it dominates the slice.
 		if w.head > 64 && w.head*2 >= len(w.events) {
 			n := copy(w.events, w.events[w.head:])
@@ -91,6 +108,14 @@ func (w *Wire[T]) Recv(now sim.Cycle) (v T, ok bool) {
 	v = w.events[w.head].v
 	w.events[w.head] = timed[T]{}
 	w.head++
+	if w.head == len(w.events) {
+		// Drained by this pop: rewind (slots behind head are zeroed).
+		w.events = w.events[:0]
+		w.head = 0
+		w.next = sim.Never
+	} else {
+		w.next = w.events[w.head].at
+	}
 	return v, true
 }
 
@@ -149,6 +174,9 @@ func (l *Link[T]) Send(now sim.Cycle, f T) {
 	l.wire.SendAt(at, f)
 	l.sent++
 }
+
+// Ready reports whether a flit has fully arrived (see Wire.Ready).
+func (l *Link[T]) Ready(now sim.Cycle) bool { return l.wire.Ready(now) }
 
 // Recv pops the oldest flit that has fully arrived.
 func (l *Link[T]) Recv(now sim.Cycle) (T, bool) { return l.wire.Recv(now) }

@@ -12,6 +12,7 @@ package nic
 
 import (
 	"nifdy/internal/packet"
+	"nifdy/internal/ring"
 	"nifdy/internal/router"
 	"nifdy/internal/sim"
 )
@@ -76,6 +77,11 @@ type NIC interface {
 	// becomes available to Recv — the wake edge that lets a processor parked
 	// on "something to poll" sleep instead of polling every cycle.
 	ObserveDelivery(a *sim.Activity)
+	// Pool is the node's packet free-list: the NIC recycles protocol
+	// packets it consumes internally, and the node's processor allocates
+	// outgoing packets from — and retires accepted deliveries to — the same
+	// list (see packet.Pool for the ownership rules).
+	Pool() *packet.Pool
 	// Stats exposes counters.
 	Stats() *Stats
 }
@@ -99,8 +105,9 @@ type BasicConfig struct {
 type Basic struct {
 	cfg     BasicConfig
 	iface   *router.Iface
-	out     []*packet.Packet
-	arr     []*packet.Packet
+	out     ring.Deque[*packet.Packet]
+	arr     ring.Deque[*packet.Packet]
+	pool    packet.Pool
 	deliver *sim.Activity // woken when a packet lands in arr
 	stats   Stats
 }
@@ -122,6 +129,10 @@ func (b *Basic) Node() int { return b.cfg.Node }
 // Stats implements NIC.
 func (b *Basic) Stats() *Stats { return &b.stats }
 
+// Pool implements NIC. The Basic NIC neither creates nor consumes packets
+// itself; the pool exists for the node's processor and workload.
+func (b *Basic) Pool() *packet.Pool { return &b.pool }
+
 // Activity implements sim.IdleTicker: the NIC sleeps when it has nothing to
 // inject, nothing mid-flight in its iface, and nothing buffered to deliver.
 func (b *Basic) Activity() *sim.Activity { return b.iface.Activity() }
@@ -131,11 +142,11 @@ func (b *Basic) ObserveDelivery(a *sim.Activity) { b.deliver = a }
 
 // TrySend implements NIC.
 func (b *Basic) TrySend(now sim.Cycle, p *packet.Packet) bool {
-	if len(b.out) >= b.cfg.OutBuf {
+	if b.out.Len() >= b.cfg.OutBuf {
 		return false
 	}
 	p.CreatedAt = now
-	b.out = append(b.out, p)
+	b.out.PushBack(p)
 	b.stats.Sent++
 	b.cfg.Hooks.Send(p)
 	// The processor handed us work mid-cycle (it ticks after the NIC): make
@@ -147,12 +158,10 @@ func (b *Basic) TrySend(now sim.Cycle, p *packet.Packet) bool {
 
 // Recv implements NIC.
 func (b *Basic) Recv(now sim.Cycle) (*packet.Packet, bool) {
-	if len(b.arr) == 0 {
+	p, ok := b.arr.PopFront()
+	if !ok {
 		return nil, false
 	}
-	p := b.arr[0]
-	b.arr[0] = nil
-	b.arr = b.arr[1:]
 	p.AcceptedAt = now
 	b.stats.Accepted++
 	b.cfg.Hooks.Accept(p)
@@ -163,11 +172,11 @@ func (b *Basic) Recv(now sim.Cycle) (*packet.Packet, bool) {
 }
 
 // Pending implements NIC.
-func (b *Basic) Pending() int { return len(b.arr) }
+func (b *Basic) Pending() int { return b.arr.Len() }
 
 // Idle implements NIC.
 func (b *Basic) Idle() bool {
-	return len(b.out) == 0 && len(b.arr) == 0 &&
+	return b.out.Len() == 0 && b.arr.Len() == 0 &&
 		b.iface.Sending(packet.Request) == nil && b.iface.Sending(packet.Reply) == nil &&
 		b.iface.PendingFlits() == 0
 }
@@ -177,26 +186,24 @@ func (b *Basic) Idle() bool {
 // NIFDY pool removes), and pull arrivals while the queue has room.
 func (b *Basic) Tick(now sim.Cycle) {
 	progress := b.iface.Pump(now)
-	if len(b.out) > 0 && b.iface.CanAccept(b.out[0].Class) {
-		p := b.out[0]
-		b.out[0] = nil
-		b.out = b.out[1:]
+	if head, ok := b.out.Front(); ok && b.iface.CanAccept(head.Class) {
+		p, _ := b.out.PopFront()
 		b.iface.StartSend(now, p)
 		b.stats.Injected++
 		progress = true
 	}
-	for len(b.arr) < b.cfg.ArrBuf {
+	for b.arr.Len() < b.cfg.ArrBuf {
 		p, ok := b.iface.Deliver(now, nil)
 		if !ok {
 			break
 		}
-		b.arr = append(b.arr, p)
+		b.arr.PushBack(p)
 		progress = true
 		if b.deliver != nil {
 			b.deliver.Wake()
 		}
 	}
-	if len(b.out) == 0 && b.iface.Quiet() {
+	if b.out.Len() == 0 && b.iface.Quiet() {
 		// Quiescent: nothing to inject, serialize, or deliver. Arrivals the
 		// processor has not pulled (b.arr) don't need ticks — Recv bypasses
 		// the tick path — and the next fabric arrival re-wakes us.

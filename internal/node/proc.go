@@ -16,6 +16,7 @@ import (
 
 	"nifdy/internal/nic"
 	"nifdy/internal/packet"
+	"nifdy/internal/ring"
 	"nifdy/internal/sim"
 )
 
@@ -98,7 +99,7 @@ type Proc struct {
 
 	// inbox holds packets whose receive handlers already ran (and were
 	// charged) while a send was stalled; Poll serves them first, free.
-	inbox []*packet.Packet
+	inbox ring.Deque[*packet.Packet]
 
 	program Program
 }
@@ -164,13 +165,23 @@ func (p *Proc) Stop() {
 // compute pause and permanently once its program completes.
 func (p *Proc) Activity() *sim.Activity { return &p.act }
 
+// ready reports whether the program's blocking condition is satisfied. Timed
+// pauses compare the clock directly (no closure); other pauses evaluate their
+// condition, and no condition at all means runnable.
+func (p *Proc) ready(now sim.Cycle) bool {
+	if p.timed {
+		return now >= p.sleepUntil
+	}
+	return p.cond == nil || p.cond(now)
+}
+
 // Tick implements sim.Ticker: run the program while its blocking condition
 // is satisfied.
 func (p *Proc) Tick(now sim.Cycle) {
 	if !p.started {
 		return
 	}
-	for !p.done && (p.cond == nil || p.cond(now)) {
+	for !p.done && p.ready(now) {
 		p.cond = nil
 		p.timed = false
 		p.parked = false
@@ -200,15 +211,28 @@ func (p *Proc) pause(cond func(sim.Cycle) bool) {
 }
 
 // pauseUntil blocks the program until cycle t, marking the pause as purely
-// time-driven so the scheduler may skip the intervening cycles.
+// time-driven so the scheduler may skip the intervening cycles. The deadline
+// lives in sleepUntil and is checked by ready — a closure here would allocate
+// on every Consume, i.e. on every modeled software overhead.
 func (p *Proc) pauseUntil(t sim.Cycle) {
 	p.timed = true
 	p.sleepUntil = t
-	p.pause(func(now sim.Cycle) bool { return now >= t })
+	p.pause(nil)
 }
 
 // Now reports the current simulated cycle.
 func (p *Proc) Now() sim.Cycle { return p.now }
+
+// Alloc returns a fresh packet from the node's free-list. Workloads that
+// also Free retired deliveries run an allocation-free steady state; Alloc is
+// always safe even if the program never frees anything.
+func (p *Proc) Alloc() *packet.Packet { return p.nic.Pool().Get() }
+
+// Free retires a packet back to the node's free-list. Only call it when the
+// program holds the last live reference — i.e. on packets returned by
+// Poll/Recv that the workload is completely done with, never on packets it
+// has handed to Send or retained in its own data structures.
+func (p *Proc) Free(pkt *packet.Packet) { p.nic.Pool().Put(pkt) }
 
 // Consume models n cycles of local computation.
 func (p *Proc) Consume(n sim.Cycle) {
@@ -243,13 +267,13 @@ func (p *Proc) Send(pkt *packet.Packet) {
 			break
 		}
 		p.chargeRecv(q)
-		p.inbox = append(p.inbox, q)
+		p.inbox.PushBack(q)
 	}
 	p.Consume(p.costs.Send)
 	for !p.nic.TrySend(p.now, pkt) {
 		if q, ok := p.nic.Recv(p.now); ok {
 			p.chargeRecv(q)
-			p.inbox = append(p.inbox, q)
+			p.inbox.PushBack(q)
 			continue
 		}
 		p.Consume(1) // stall a cycle and retry: NIC backpressure
@@ -269,10 +293,7 @@ func (p *Proc) chargeRecv(pkt *packet.Packet) {
 // Packets whose handlers already ran during a stalled send return first,
 // free.
 func (p *Proc) Poll() (*packet.Packet, bool) {
-	if len(p.inbox) > 0 {
-		pkt := p.inbox[0]
-		p.inbox[0] = nil
-		p.inbox = p.inbox[1:]
+	if pkt, ok := p.inbox.PopFront(); ok {
 		return pkt, true
 	}
 	if pkt, ok := p.nic.Recv(p.now); ok {
@@ -290,7 +311,7 @@ const TagNeedsReorder = 1
 // HasPending reports whether a packet is ready for the processor, either
 // already handled into the inbox or waiting at the NIC.
 func (p *Proc) HasPending() bool {
-	return len(p.inbox) > 0 || p.nic.Pending() > 0
+	return p.inbox.Len() > 0 || p.nic.Pending() > 0
 }
 
 // Recv polls until a packet arrives.
@@ -332,10 +353,7 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 		b.waiters = b.waiters[:0]
 	}
 	for b.gen == gen {
-		if len(p.inbox) > 0 {
-			pkt := p.inbox[0]
-			p.inbox[0] = nil
-			p.inbox = p.inbox[1:]
+		if pkt, ok := p.inbox.PopFront(); ok {
 			if handler != nil {
 				handler(pkt)
 			}

@@ -1,0 +1,69 @@
+package ring
+
+import "testing"
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("empty deque popped")
+	}
+	next, want := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i <= round%5; i++ {
+			d.PushBack(next)
+			next++
+		}
+		if f, ok := d.Front(); ok && f != want {
+			t.Fatalf("front = %d, want %d", f, want)
+		}
+		for i := 0; i <= round%3 && d.Len() > 0; i++ {
+			v, _ := d.PopFront()
+			if v != want {
+				t.Fatalf("round %d: got %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+	for d.Len() > 0 {
+		v, _ := d.PopFront()
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("lost items: popped %d, pushed %d", want, next)
+	}
+}
+
+func TestDequePopZeroesSlot(t *testing.T) {
+	var d Deque[*int]
+	d.PushBack(new(int))
+	d.PopFront()
+	for i, s := range d.buf {
+		if s != nil {
+			t.Fatalf("slot %d retains a popped reference", i)
+		}
+	}
+}
+
+func TestDequeSteadyStateAllocFree(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 16; i++ {
+		d.PushBack(i)
+	}
+	for d.Len() > 0 {
+		d.PopFront()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			d.PushBack(i)
+		}
+		for d.Len() > 0 {
+			d.PopFront()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("deque allocates %.1f/op in steady state", allocs)
+	}
+}

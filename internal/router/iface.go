@@ -80,6 +80,11 @@ func NewIface(cfg IfaceConfig) *Iface {
 	f := &Iface{cfg: cfg}
 	nvc := packet.NumClasses * cfg.VCs
 	f.eject = make([]ejectVC, nvc)
+	for i := range f.eject {
+		// Full depth up front: the credit loop bounds each queue at BufFlits,
+		// so this buffer is reused forever (extract keeps the backing array).
+		f.eject[i].q = make([]packet.Flit, 0, cfg.BufFlits)
+	}
 	f.credits = make([]int, nvc)
 	for i := range f.slots {
 		f.slots[i].vc = -1
@@ -228,11 +233,8 @@ func (f *Iface) drainCredits(now sim.Cycle) bool {
 		if ch == nil || (c > 0 && ch == f.outCh[c-1]) {
 			continue // shared channel already drained
 		}
-		for {
-			cr, ok := ch.Credits.Recv(now)
-			if !ok {
-				break
-			}
+		for ch.Credits.Ready(now) {
+			cr, _ := ch.Credits.Recv(now)
 			f.credits[cr.VC]++
 			progress = true
 		}
@@ -247,11 +249,8 @@ func (f *Iface) drainArrivals(now sim.Cycle) bool {
 		if ch == nil || (c > 0 && ch == f.inCh[c-1]) {
 			continue
 		}
-		for {
-			fl, ok := ch.Flits.Recv(now)
-			if !ok {
-				break
-			}
+		for ch.Flits.Ready(now) {
+			fl, _ := ch.Flits.Recv(now)
 			progress = true
 			vc := &f.eject[fl.VC]
 			if len(vc.q) >= f.cfg.BufFlits {
@@ -357,8 +356,17 @@ func (f *Iface) Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.
 		return nil, false
 	}
 	n := len(f.eject)
+	g := f.scanRR
+	if g >= n {
+		g = 0
+	}
 	for k := 0; k < n; k++ {
-		g := (k + f.scanRR) % n
+		if k > 0 {
+			g++
+			if g == n {
+				g = 0
+			}
+		}
 		vc := &f.eject[g]
 		if len(vc.q) == 0 || !vc.q[0].Head() {
 			continue
@@ -373,7 +381,10 @@ func (f *Iface) Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.
 		f.extract(now, g, p)
 		f.deliveredPkts++
 		p.DeliveredAt = now
-		f.scanRR = (g + 1) % n
+		f.scanRR = g + 1
+		if f.scanRR == n {
+			f.scanRR = 0
+		}
 		return p, true
 	}
 	return nil, false

@@ -44,15 +44,57 @@ type Config struct {
 	RNG *rng.Source
 }
 
+// vcState is one input virtual channel. Its flit queue is a fixed-capacity
+// ring over a view into the router's flat buffer arena (indexed by
+// (port, vc)): the credit protocol bounds occupancy at BufFlits, so the
+// storage never grows and forwarding never slides or reallocates a slice —
+// the append/`q = q[1:]` queue it replaces reallocated once per packet.
 type vcState struct {
-	q       []packet.Flit
-	outPort int // -1 when the head packet has no route yet
-	outVC   int // global vc index at the downstream input port
+	buf     []packet.Flit // BufFlits ring slots in the shared arena
+	head    int           // ring index of the oldest flit
+	n       int           // buffered flit count
+	outPort int           // -1 when the head packet has no route yet
+	outVC   int           // global vc index at the downstream input port
 	// choices caches the route computation for the packet at the front of
 	// the queue, so a head blocked on VC allocation does not recompute its
 	// route every cycle.
 	choices   []Choice
 	choicesOK bool
+}
+
+// front returns the oldest buffered flit. The VC must be non-empty.
+func (v *vcState) front() *packet.Flit { return &v.buf[v.head] }
+
+// at returns the i-th oldest buffered flit (0 = front).
+func (v *vcState) at(i int) *packet.Flit {
+	idx := v.head + i
+	if idx >= len(v.buf) {
+		idx -= len(v.buf)
+	}
+	return &v.buf[idx]
+}
+
+// push appends f. The caller enforces the credit bound.
+func (v *vcState) push(f packet.Flit) {
+	idx := v.head + v.n
+	if idx >= len(v.buf) {
+		idx -= len(v.buf)
+	}
+	v.buf[idx] = f
+	v.n++
+}
+
+// pop removes and returns the front flit, zeroing its slot so the ring never
+// retains a forwarded packet.
+func (v *vcState) pop() packet.Flit {
+	f := v.buf[v.head]
+	v.buf[v.head] = packet.Flit{}
+	v.head++
+	if v.head == len(v.buf) {
+		v.head = 0
+	}
+	v.n--
+	return f
 }
 
 type inPort struct {
@@ -95,9 +137,14 @@ func New(cfg Config) *Router {
 	r := &Router{cfg: cfg}
 	nvc := packet.NumClasses * cfg.VCs
 	r.in = make([]inPort, cfg.InPorts)
+	// One flat arena holds every input VC's flit buffer, carved into
+	// per-(port, vc) rings of BufFlits slots.
+	arena := make([]packet.Flit, cfg.InPorts*nvc*cfg.BufFlits)
 	for i := range r.in {
 		r.in[i].vcs = make([]vcState, nvc)
 		for v := range r.in[i].vcs {
+			off := (i*nvc + v) * cfg.BufFlits
+			r.in[i].vcs[v].buf = arena[off : off+cfg.BufFlits]
 			r.in[i].vcs[v].outPort = -1
 		}
 	}
@@ -138,6 +185,9 @@ func (r *Router) ConnectOut(p int, ch *Channel, downstreamDepth int) {
 	n := packet.NumClasses * r.cfg.VCs
 	op.credits = make([]int, n)
 	op.owner = make([]*packet.Packet, n)
+	// At most every input VC can be routed here at once; sizing reqs for
+	// that worst case makes requester churn allocation-free.
+	op.reqs = make([]requester, 0, r.cfg.InPorts*n)
 	for i := range op.credits {
 		op.credits[i] = downstreamDepth
 	}
@@ -233,19 +283,16 @@ func (r *Router) receive(now sim.Cycle) bool {
 		if ip.ch == nil {
 			continue
 		}
-		for {
-			f, ok := ip.ch.Flits.Recv(now)
-			if !ok {
-				break
-			}
+		for ip.ch.Flits.Ready(now) {
+			f, _ := ip.ch.Flits.Recv(now)
 			progress = true
 			v := &ip.vcs[f.VC]
-			if len(v.q) >= r.cfg.BufFlits {
+			if v.n >= r.cfg.BufFlits {
 				panic(fmt.Sprintf("router %d: input %d vc %d overflow (credit protocol violated)", r.cfg.ID, i, f.VC))
 			}
-			v.q = append(v.q, f)
+			v.push(f)
 			r.buffered++
-			if len(v.q) == 1 && f.Head() && v.outPort < 0 {
+			if v.n == 1 && f.Head() && v.outPort < 0 {
 				r.unrouted++
 			}
 		}
@@ -255,11 +302,8 @@ func (r *Router) receive(now sim.Cycle) bool {
 		if op.ch == nil {
 			continue
 		}
-		for {
-			c, ok := op.ch.Credits.Recv(now)
-			if !ok {
-				break
-			}
+		for op.ch.Credits.Ready(now) {
+			c, _ := op.ch.Credits.Recv(now)
 			progress = true
 			op.credits[c.VC]++
 			if op.credits[c.VC] > op.initial {
@@ -278,16 +322,28 @@ func (r *Router) allocate() bool {
 	assigned := false
 	nvc := packet.NumClasses * r.cfg.VCs
 	total := len(r.in) * nvc
-	start := r.allocRR
-	for k := 0; k < total; k++ {
-		idx := (k + start) % total
-		inIdx, vcIdx := idx/nvc, idx%nvc
+	start := r.allocRR % total
+	// Walk the (port, vc) ring with incrementally maintained indices: a
+	// div/mod pair per visited VC is measurable here — this scan is the
+	// router's hottest loop — and stop as soon as no unrouted head remains.
+	nextIn, nextVC := start/nvc, start%nvc
+	for k := 0; k < total && r.unrouted > 0; k++ {
+		inIdx, vcIdx := nextIn, nextVC
+		nextVC++
+		if nextVC == nvc {
+			nextVC = 0
+			nextIn++
+			if nextIn == len(r.in) {
+				nextIn = 0
+			}
+		}
+		idx := inIdx*nvc + vcIdx
 		ip := &r.in[inIdx]
 		v := &ip.vcs[vcIdx]
-		if v.outPort >= 0 || len(v.q) == 0 || !v.q[0].Head() {
+		if v.outPort >= 0 || v.n == 0 || !v.front().Head() {
 			continue
 		}
-		p := v.q[0].Pkt
+		p := v.front().Pkt
 		if !v.choicesOK {
 			v.choices = r.cfg.Route(inIdx, p, v.choices[:0])
 			v.choicesOK = true
@@ -357,29 +413,33 @@ func (r *Router) send(now sim.Cycle) bool {
 			continue
 		}
 		n := len(op.reqs)
+		ri := op.rr
+		if ri >= n {
+			ri = 0
+		}
 		for k := 0; k < n; k++ {
-			ri := (k + op.rr) % n
+			if k > 0 {
+				ri++
+				if ri == n {
+					ri = 0
+				}
+			}
 			req := op.reqs[ri]
 			if r.inUsed[req.in] {
 				continue
 			}
 			ip := &r.in[req.in]
 			v := &ip.vcs[req.vc]
-			if len(v.q) == 0 || op.credits[v.outVC] <= 0 {
+			if v.n == 0 || op.credits[v.outVC] <= 0 {
 				continue
 			}
 			if r.cfg.SAF && !r.tailBuffered(v) {
-				if len(v.q) >= r.cfg.BufFlits {
-					panic(fmt.Sprintf("router %d: SAF buffer (%d flits) smaller than packet %v", r.cfg.ID, r.cfg.BufFlits, v.q[0].Pkt))
+				if v.n >= r.cfg.BufFlits {
+					panic(fmt.Sprintf("router %d: SAF buffer (%d flits) smaller than packet %v", r.cfg.ID, r.cfg.BufFlits, v.front().Pkt))
 				}
 				continue
 			}
-			f := v.q[0]
-			v.q[0] = packet.Flit{}
-			v.q = v.q[1:]
-			if len(v.q) == 0 {
-				v.q = nil // reset backing array so append reuses fresh storage
-			}
+			f := v.pop()
 			r.buffered--
 			f.VC = v.outVC
 			op.ch.Flits.Send(now, f)
@@ -392,7 +452,7 @@ func (r *Router) send(now sim.Cycle) bool {
 			if f.Tail() {
 				op.owner[v.outVC] = nil
 				v.outPort, v.outVC = -1, -1
-				if len(v.q) > 0 {
+				if v.n > 0 {
 					// The next packet's head is now at the front.
 					r.unrouted++
 				}
@@ -410,9 +470,9 @@ func (r *Router) send(now sim.Cycle) bool {
 // tailBuffered reports whether the tail flit of the packet at the head of v
 // is already buffered (store-and-forward eligibility).
 func (r *Router) tailBuffered(v *vcState) bool {
-	p := v.q[0].Pkt
-	for i := len(v.q) - 1; i >= 0; i-- {
-		if v.q[i].Pkt == p && v.q[i].Tail() {
+	p := v.front().Pkt
+	for i := v.n - 1; i >= 0; i-- {
+		if fl := v.at(i); fl.Pkt == p && fl.Tail() {
 			return true
 		}
 	}
@@ -441,11 +501,4 @@ func allVCs(n int) []int {
 		t[i] = i
 	}
 	return t
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,10 +5,20 @@ package sim
 // order-independence guarantee. It is the standard boundary between two
 // components that tick in unknown relative order (e.g. a NIC and a router's
 // local port).
+//
+// Storage is a single circular buffer holding the visible region followed
+// in ring order by the pending (latched) region, so Push, Pop, and Flush
+// are O(1) with no allocation or element shifting in steady state: Push
+// writes into the slot after the pending region, and Flush publishes by
+// extending the visible region over the pending one in place. Bounded
+// queues never allocate after construction; unbounded queues grow the ring
+// geometrically and then reuse it.
 type Queue[T any] struct {
-	cur     []T
-	pending []T
-	cap     int // total capacity (visible + pending); 0 = unbounded
+	buf  []T
+	head int // index of the oldest visible item
+	vis  int // visible item count
+	pend int // pending (pushed this cycle, not yet flushed) item count
+	cap  int // total capacity (visible + pending); 0 = unbounded
 
 	fl     *Flusher
 	marked bool
@@ -17,12 +27,17 @@ type Queue[T any] struct {
 // NewQueue returns a Queue with the given total capacity. capacity <= 0
 // means unbounded.
 func NewQueue[T any](capacity int) *Queue[T] {
-	return &Queue[T]{cap: capacity}
+	q := &Queue[T]{}
+	if capacity > 0 {
+		q.cap = capacity
+		q.buf = make([]T, capacity)
+	}
+	return q
 }
 
 // CanPush reports whether a Push this cycle would be accepted.
 func (q *Queue[T]) CanPush() bool {
-	return q.cap <= 0 || len(q.cur)+len(q.pending) < q.cap
+	return q.cap <= 0 || q.vis+q.pend < q.cap
 }
 
 // Bind routes this queue's flushes through f's dirty list: the queue is
@@ -30,13 +45,36 @@ func (q *Queue[T]) CanPush() bool {
 // passed to RegisterLatch, and must only be pushed by Tickers of f's shard.
 func (q *Queue[T]) Bind(f *Flusher) { q.fl = f }
 
+// grow re-linearizes the ring into a larger buffer (unbounded queues only).
+func (q *Queue[T]) grow() {
+	n := len(q.buf) * 2
+	if n < 8 {
+		n = 8
+	}
+	nb := make([]T, n)
+	used := q.vis + q.pend
+	for i := 0; i < used; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 // Push enqueues v to become visible next cycle. It reports whether the item
 // was accepted (false if the queue is full).
 func (q *Queue[T]) Push(v T) bool {
 	if !q.CanPush() {
 		return false
 	}
-	q.pending = append(q.pending, v)
+	if q.vis+q.pend == len(q.buf) {
+		q.grow()
+	}
+	i := q.head + q.vis + q.pend
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
+	q.pend++
 	if q.fl != nil && !q.marked {
 		q.marked = true
 		q.fl.Mark(q)
@@ -45,45 +83,53 @@ func (q *Queue[T]) Push(v T) bool {
 }
 
 // Len reports the number of currently visible items.
-func (q *Queue[T]) Len() int { return len(q.cur) }
+func (q *Queue[T]) Len() int { return q.vis }
 
 // Occupied reports visible plus pending items (the value capacity is
 // enforced against).
-func (q *Queue[T]) Occupied() int { return len(q.cur) + len(q.pending) }
+func (q *Queue[T]) Occupied() int { return q.vis + q.pend }
 
 // Peek returns the oldest visible item without removing it. ok is false if
 // none is visible.
 func (q *Queue[T]) Peek() (v T, ok bool) {
-	if len(q.cur) == 0 {
+	if q.vis == 0 {
 		return v, false
 	}
-	return q.cur[0], true
+	return q.buf[q.head], true
 }
 
-// Pop removes and returns the oldest visible item.
+// Pop removes and returns the oldest visible item. The vacated ring slot is
+// zeroed so popped references (e.g. pooled packets) are not retained.
 func (q *Queue[T]) Pop() (v T, ok bool) {
-	if len(q.cur) == 0 {
+	if q.vis == 0 {
 		return v, false
 	}
-	v = q.cur[0]
+	v = q.buf[q.head]
 	var zero T
-	q.cur[0] = zero // release reference for GC
-	q.cur = q.cur[1:]
+	q.buf[q.head] = zero // release reference for GC / packet pooling
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.vis--
 	return v, true
 }
 
-// Flush implements Latch, publishing pending items.
+// Drain pops every visible item into fn, zeroing the vacated slots. Items
+// pushed during the same cycle (still pending) are untouched.
+func (q *Queue[T]) Drain(fn func(T)) {
+	for q.vis > 0 {
+		v, _ := q.Pop()
+		fn(v)
+	}
+}
+
+// Flush implements Latch, publishing pending items in place: the visible
+// region simply extends over the pending one.
 func (q *Queue[T]) Flush() {
 	q.marked = false
-	if len(q.pending) == 0 {
-		return
-	}
-	q.cur = append(q.cur, q.pending...)
-	for i := range q.pending {
-		var zero T
-		q.pending[i] = zero
-	}
-	q.pending = q.pending[:0]
+	q.vis += q.pend
+	q.pend = 0
 }
 
 // Reg is a double-buffered single value. Writes during Tick become readable

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// TestQueueRingWraparound pushes and pops across many cycles so the ring's
+// head walks past the buffer end repeatedly, checking FIFO order throughout.
+func TestQueueRingWraparound(t *testing.T) {
+	q := NewQueue[int](4)
+	next, want := 0, 0
+	for cycle := 0; cycle < 100; cycle++ {
+		for q.CanPush() {
+			if !q.Push(next) {
+				t.Fatal("CanPush lied")
+			}
+			next++
+		}
+		q.Flush()
+		// Pop a varying number to slide the head around the ring.
+		for k := 0; k <= cycle%3; k++ {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if v != want {
+				t.Fatalf("cycle %d: got %d, want %d", cycle, v, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestQueueUnboundedGrowth checks unbounded queues keep FIFO order across
+// ring growth while items are mid-ring.
+func TestQueueUnboundedGrowth(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 3; i++ {
+		q.Push(i)
+	}
+	q.Flush()
+	if v, _ := q.Pop(); v != 0 {
+		t.Fatalf("got %d, want 0", v)
+	}
+	// Force growth with a wrapped, non-zero head.
+	for i := 3; i < 40; i++ {
+		q.Push(i)
+	}
+	q.Flush()
+	for want := 1; want < 40; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("got %d,%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestQueuePopZeroesSlot ensures popped ring slots do not retain references:
+// the whole point of pooling packets is defeated if a stale *T in the ring
+// keeps a recycled object reachable (and aliased) forever.
+func TestQueuePopZeroesSlot(t *testing.T) {
+	q := NewQueue[*int](2)
+	v := new(int)
+	q.Push(v)
+	q.Flush()
+	q.Pop()
+	for i, s := range q.buf {
+		if s != nil {
+			t.Fatalf("slot %d retains a popped reference", i)
+		}
+	}
+	// Drain must zero too.
+	q.Push(v)
+	q.Push(v)
+	q.Flush()
+	n := 0
+	q.Drain(func(*int) { n++ })
+	if n != 2 {
+		t.Fatalf("drained %d, want 2", n)
+	}
+	for i, s := range q.buf {
+		if s != nil {
+			t.Fatalf("slot %d retains a drained reference", i)
+		}
+	}
+}
+
+// TestQueueDrainLeavesPending checks Drain consumes only the visible region.
+func TestQueueDrainLeavesPending(t *testing.T) {
+	q := NewQueue[int](0)
+	q.Push(1)
+	q.Flush()
+	q.Push(2) // pending this cycle
+	var got []int
+	q.Drain(func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("drained %v, want [1]", got)
+	}
+	q.Flush()
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("pending item lost: got %d,%v", v, ok)
+	}
+}
+
+// TestQueueSteadyStateAllocFree checks a bounded queue allocates nothing
+// after construction.
+func TestQueueSteadyStateAllocFree(t *testing.T) {
+	q := NewQueue[int](8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for q.CanPush() {
+			q.Push(1)
+		}
+		q.Flush()
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("bounded queue allocates %.1f/op in steady state", allocs)
+	}
+}

@@ -233,13 +233,6 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // JSON renders the table as a JSON object with title, headers, and rows —
 // for piping harness output into other tools.
 func (t *Table) JSON() ([]byte, error) {

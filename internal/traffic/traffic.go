@@ -142,26 +142,31 @@ func (g *Gen) Program(n int) node.Program {
 					msg := g.msgSeq
 					bulk := cfg.BulkThreshold > 0 && length >= cfg.BulkThreshold
 					for i := 0; i < length; i++ {
-						pk := &packet.Packet{
-							ID: g.ids.Next(), Src: n, Dst: dst,
-							Words: cfg.Words, Class: packet.Request,
-							Dialog:  packet.NoDialog,
-							BulkReq: bulk && i < length-1,
-							Meta:    packet.Meta{MsgID: msg, Index: i, Total: length},
-						}
+						// Outgoing packets come from the node's free-list;
+						// they are retired back into the receiving node's
+						// list below, so saturated phases run allocation-free.
+						pk := p.Alloc()
+						pk.ID = g.ids.Next()
+						pk.Src = n
+						pk.Dst = dst
+						pk.Words = cfg.Words
+						pk.BulkReq = bulk && i < length-1
+						pk.Meta = packet.Meta{MsgID: msg, Index: i, Total: length}
 						p.Send(pk)
 						sent++
 						// Service arrivals between sends so other senders'
-						// packets do not rot in the arrivals queue.
+						// packets do not rot in the arrivals queue. The
+						// generator is a sink: a pulled packet is dead, so
+						// retire it.
 						for p.HasPending() {
-							p.Recv()
+							p.Free(p.Recv())
 						}
 					}
 				}
 			}
 			// Bulk-synchronous phase end: wait for everyone, servicing
-			// arrivals while parked.
-			p.Barrier(g.bar, nil)
+			// (and retiring) arrivals while parked.
+			p.Barrier(g.bar, p.Free)
 		}
 	}
 }

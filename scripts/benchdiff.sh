@@ -1,0 +1,59 @@
+#!/bin/sh
+# benchdiff.sh OLD.json NEW.json — compare two BENCH_<date>.json baselines
+# (written by `nifdy-bench -json` / `make baseline`).
+#
+# Prints per-experiment wall-clock deltas and exits nonzero if any experiment
+# present in both files regressed by more than 10% ns/op. Experiments that
+# exist in only one file are listed but never fail the comparison, and
+# experiments shorter than MIN_MS (default 100 ms) in the old baseline are
+# noise-dominated smoke runs: their deltas are printed but never fail.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -r "$f" ]; then
+        echo "benchdiff: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# threshold: fail when new > old * (1 + REGRESS_PCT/100), for experiments
+# whose old wall clock is at least MIN_MS milliseconds
+REGRESS_PCT=${REGRESS_PCT:-10}
+MIN_MS=${MIN_MS:-100}
+
+jq -r -n --slurpfile old "$old" --slurpfile new "$new" --argjson pct "$REGRESS_PCT" --argjson minms "$MIN_MS" '
+  ($old[0].experiments | map({key: .name, value: .ns_per_op}) | from_entries) as $o |
+  ($new[0].experiments | map({key: .name, value: .ns_per_op}) | from_entries) as $n |
+  (($o | keys) + ($n | keys) | unique) as $names |
+  ($names | map(select($o[.] != null and $n[.] != null and $o[.] >= $minms*1e6 and $n[.] > $o[.] * (1 + $pct/100)))) as $bad |
+  (
+    "experiment       old(s)     new(s)    delta",
+    ($names[] |
+      if $o[.] == null then "\(.)  (only in new)"
+      elif $n[.] == null then "\(.)  (only in old)"
+      else
+        . as $name | ($o[.]/1e9) as $os | ($n[.]/1e9) as $ns |
+        "\(.)\(" " * (17 - (.|length)))\($os*100|round/100)\(" " * (11 - (($os*100|round/100)|tostring|length)))\($ns*100|round/100)\(" " * (10 - (($ns*100|round/100)|tostring|length)))\(($ns/$os - 1)*100|round)%" +
+        (if ($bad | index($name)) != null then "  REGRESSION" else "" end)
+      end),
+    "",
+    (if ($bad | length) > 0 then
+      "FAIL: \($bad | length) experiment(s) regressed more than \($pct)% ns/op: \($bad | join(", "))"
+    else
+      "OK: no experiment regressed more than \($pct)% ns/op"
+    end)
+  )
+' || exit 2
+
+bad=$(jq -r -n --slurpfile old "$old" --slurpfile new "$new" --argjson pct "$REGRESS_PCT" --argjson minms "$MIN_MS" '
+  ($old[0].experiments | map({key: .name, value: .ns_per_op}) | from_entries) as $o |
+  ($new[0].experiments | map({key: .name, value: .ns_per_op}) | from_entries) as $n |
+  [($o | keys)[] | select($n[.] != null and $o[.] >= $minms*1e6 and $n[.] > $o[.] * (1 + $pct/100))] | length
+')
+[ "$bad" -eq 0 ]
