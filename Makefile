@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-smoke bench bench-heavy benchdiff baseline clean
+.PHONY: build test vet race check bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ bench-heavy:
 # a >10% ns/op regression: make benchdiff OLD=BENCH_a.json NEW=BENCH_b.json
 benchdiff:
 	./scripts/benchdiff.sh $(OLD) $(NEW)
+
+# bench-parallel measures the intra-simulation parallel speedup: Figure 2
+# heavy traffic at shards=1 vs shards=N (default min(GOMAXPROCS, nodes)),
+# failing if the multi-shard run is slower. Skips on single-core hosts.
+# Override the shard count with: make bench-parallel SHARDS=4
+bench-parallel:
+	./scripts/benchparallel.sh $(SHARDS)
 
 # baseline regenerates the committed BENCH_<date>.json perf/metrics
 # baseline from the reduced-scale experiment suite.

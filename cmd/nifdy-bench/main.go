@@ -8,6 +8,7 @@
 //	nifdy-bench -json BENCH_$(date +%F).json   # also record a perf baseline
 //	nifdy-bench -exp f2 -cpuprofile cpu.prof   # profile an experiment's hot path
 //	nifdy-bench -exp f2 -memprofile mem.prof   # heap snapshot after it finishes
+//	nifdy-bench -exp f2 -shards 4        # 4 engine shards per simulation (bit-identical)
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
 // coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
@@ -48,6 +49,8 @@ type benchFile struct {
 	GOARCH      string      `json:"goarch"`
 	Seed        uint64      `json:"seed"`
 	Full        bool        `json:"full"`
+	Shards      int         `json:"shards"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
 	Experiments []expRecord `json:"experiments"`
 }
 
@@ -56,6 +59,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,all)")
 		full    = flag.Bool("full", false, "paper-scale budgets instead of reduced")
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
+		shards  = flag.Int("shards", 0, "engine shards per simulation for f2/f3/f4 (0 = min(GOMAXPROCS, nodes), 1 = serial; bit-identical results)")
 		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
 		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -145,17 +149,17 @@ func main() {
 				extra = append(extra, raw)
 			}
 		case "f2":
-			tbl := nifdy.Figure2(synthOpts(*full, *seed))
+			tbl := nifdy.Figure2(synthOpts(*full, *seed, *shards))
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
 			collect(tbl)
 		case "f3":
-			tbl := nifdy.Figure3(synthOpts(*full, *seed))
+			tbl := nifdy.Figure3(synthOpts(*full, *seed, *shards))
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
 			collect(tbl)
 		case "f4":
-			o := nifdy.Figure4Opts{Seed: *seed}
+			o := nifdy.Figure4Opts{Seed: *seed, Shards: *shards}
 			if *full {
 				o.Cycles = 1_000_000
 				o.Levels = []int{2, 3, 4}
@@ -293,6 +297,8 @@ func main() {
 			GOARCH:      runtime.GOARCH,
 			Seed:        *seed,
 			Full:        *full,
+			Shards:      *shards,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Experiments: records,
 		}
 		buf, err := json.MarshalIndent(out, "", "  ")
@@ -309,8 +315,8 @@ func main() {
 	}
 }
 
-func synthOpts(full bool, seed uint64) nifdy.SynthOpts {
-	o := nifdy.SynthOpts{Seed: seed}
+func synthOpts(full bool, seed uint64, shards int) nifdy.SynthOpts {
+	o := nifdy.SynthOpts{Seed: seed, Shards: shards}
 	if !full {
 		o.Cycles = 150_000
 	}

@@ -61,12 +61,14 @@ type BuildOpts struct {
 	Seed uint64
 	// Drop enables the lossy-fabric model.
 	Drop float64
-	// EngineShards selects the engine: 0 or 1 builds the serial engine,
-	// larger values build sim.NewParallel(EngineShards). Every component
-	// still registers in shard 0 — wires connect all of them, and wired
-	// components must share a shard — so this exercises the worker-pool
-	// machinery rather than intra-sim parallelism; results are bit-identical
-	// to the serial engine.
+	// EngineShards selects intra-simulation parallelism: 0 or 1 builds the
+	// serial engine; larger values build sim.NewParallel and partition the
+	// fabric with the network's topology-aware Partition hook — each node's
+	// router, NIC, and processor share a shard, and the only cross-shard
+	// edges are link wires, whose sends are staged per shard and merged at
+	// the flush barrier. Results are bit-identical to the serial engine for
+	// any shard count (enforced by the sharded determinism tests). Values
+	// above the node count are clamped.
 	EngineShards int
 	// DisableIdleSkip turns off quiescence skipping (determinism baseline).
 	DisableIdleSkip bool
@@ -79,7 +81,6 @@ type Sim struct {
 	NICs    []nic.NIC
 	Procs   []*node.Proc
 	Pending *stats.Pending
-	IDs     *packet.IDSource
 
 	stopped bool
 }
@@ -91,9 +92,16 @@ func Build(opts BuildOpts) *Sim {
 	}
 	ifOpts := topo.IfaceOptions{DropProb: opts.Drop, Seed: opts.Seed}
 	net := opts.Net.Build(opts.Seed, ifOpts)
+	shards := opts.EngineShards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > net.Nodes() {
+		shards = net.Nodes()
+	}
 	eng := sim.New()
-	if opts.EngineShards > 1 {
-		eng = sim.NewParallel(opts.EngineShards)
+	if shards > 1 {
+		eng = sim.NewParallel(shards)
 	}
 	if opts.DisableIdleSkip {
 		eng.SetIdleSkip(false)
@@ -101,18 +109,24 @@ func Build(opts BuildOpts) *Sim {
 	s := &Sim{
 		Eng: eng, Net: net,
 		Pending: stats.NewPending(net.Nodes(), opts.PendingInterval),
-		IDs:     &packet.IDSource{},
 	}
-	net.RegisterRouters(s.Eng)
+	// Topology-aware partition: node n's router(s), NIC, and processor all
+	// tick in shardOf[n]; the fabric marks channels crossing shard
+	// boundaries for staged cross-shard delivery.
+	shardOf := net.Partition(shards)
+	net.RegisterRoutersSharded(s.Eng, shardOf)
+	s.Pending.SetShards(shards)
 	if opts.PendingInterval > 0 {
-		s.Eng.Register(s.Pending)
+		// Sampled as a step hook (pre-tick, on the stepping goroutine): the
+		// same between-cycles instant for every shard count.
+		s.Eng.RegisterStepHook(s.Pending.Sample)
 	}
-	hooks := s.Pending.Hooks()
 	params := opts.Params
 	if isZeroParams(params) {
 		params = opts.Net.Params
 	}
 	for n := 0; n < net.Nodes(); n++ {
+		hooks := s.Pending.HooksFor(shardOf[n])
 		var nc nic.NIC
 		switch opts.Kind {
 		case Plain:
@@ -126,13 +140,15 @@ func Build(opts BuildOpts) *Sim {
 		case NIFDY:
 			cfg := params
 			cfg.Node = n
-			cfg.IDs = s.IDs
+			// Per-node ID space: allocation is deterministic and race-free
+			// regardless of how nodes are sharded.
+			cfg.IDs = packet.NewNodeIDs(n)
 			cfg.Hooks = hooks
 			nc = core.New(cfg, net.Iface(n))
 		default:
 			panic("harness: unknown NIC kind")
 		}
-		s.Eng.Register(nc)
+		s.Eng.RegisterSharded(shardOf[n], nc)
 		s.NICs = append(s.NICs, nc)
 	}
 	if opts.Program != nil {
@@ -142,7 +158,9 @@ func Build(opts BuildOpts) *Sim {
 				continue // node has no program: its NIC still ticks
 			}
 			p := node.NewProc(n, s.NICs[n], opts.Costs, prog)
-			s.Eng.Register(p)
+			// Same shard as the node's NIC, registered after it, so a
+			// same-cycle delivery is pollable by the processor's tick.
+			s.Eng.RegisterSharded(shardOf[n], p)
 			s.Procs = append(s.Procs, p)
 			p.Start()
 		}
@@ -186,16 +204,13 @@ func (s *Sim) RunUntilDone(max sim.Cycle) (bool, sim.Cycle) {
 	return ok, s.Eng.Now()
 }
 
-// Accepted reports total packets accepted by processors.
-func (s *Sim) Accepted() int64 {
-	var total int64
-	for _, nc := range s.NICs {
-		total += nc.Stats().Accepted
-	}
-	return total
-}
+// Accepted reports total packets accepted by processors. Like
+// AggregateStats, only call while the engine is between cycles (NIC
+// counters are owned by their shards during a tick).
+func (s *Sim) Accepted() int64 { return s.AggregateStats().Accepted }
 
-// AggregateStats sums all NIC counters.
+// AggregateStats sums all NIC counters. Only call while the engine is
+// between cycles — counters are written by their shards during a tick.
 func (s *Sim) AggregateStats() nic.Stats {
 	var a nic.Stats
 	for _, nc := range s.NICs {

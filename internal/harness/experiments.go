@@ -15,9 +15,9 @@ import (
 	"nifdy/internal/traffic"
 )
 
-// runParallel executes independent simulations on up to NumCPU workers —
-// the repository's main use of host parallelism (each simulation itself is
-// deterministic and single-threaded).
+// runParallel executes independent simulations on up to NumCPU workers.
+// Each simulation is deterministic regardless of its own shard count, so
+// this composes with intra-simulation sharding (SynthOpts.Shards).
 func runParallel(tasks []func()) {
 	if len(tasks) == 0 {
 		return
@@ -60,6 +60,24 @@ type SynthOpts struct {
 	Networks []NetSpec
 	// Kinds defaults to {Plain, BuffersOnly, NIFDY}.
 	Kinds []NICKind
+	// Shards is the per-simulation engine shard count: 0 selects
+	// DefaultShards (min(GOMAXPROCS, nodes)), 1 forces the serial engine.
+	// Results are bit-identical for any value.
+	Shards int
+}
+
+// DefaultShards is the default intra-simulation parallelism for the figure
+// entry points: one shard per available CPU, at most one per node (a single
+// core thus gets the serial engine).
+func DefaultShards(nodes int) int {
+	s := runtime.GOMAXPROCS(0)
+	if s > nodes {
+		s = nodes
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 func (o *SynthOpts) defaults() {
@@ -82,7 +100,7 @@ func topoIfaceDefaults() topo.IfaceOptions { return topo.IfaceOptions{} }
 
 // synthRow runs one network across the NIC kinds and returns delivered
 // packet counts in kind order.
-func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cycles sim.Cycle, seed uint64) []int64 {
+func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cycles sim.Cycle, seed uint64, shards int) []int64 {
 	out := make([]int64, len(kinds))
 	tasks := make([]func(), len(kinds))
 	for ki, kind := range kinds {
@@ -90,7 +108,8 @@ func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cy
 		tasks[ki] = func() {
 			tcfg := mkTraffic()
 			s := Build(BuildOpts{Net: spec, Kind: kind, Seed: seed,
-				Program: programFromTraffic(tcfg)})
+				EngineShards: shards,
+				Program:      programFromTraffic(tcfg)})
 			defer s.Close()
 			s.Eng.Run(cycles)
 			out[ki] = s.Accepted()
@@ -152,7 +171,11 @@ func fillSynth(t *stats.Table, o SynthOpts, mk func(nodes int) traffic.Config) {
 		i, spec := i, spec
 		tasks = append(tasks, func() {
 			nodes := spec.Build(o.Seed, topoIfaceDefaults()).Nodes()
-			vals := synthRow(spec, o.Kinds, func() traffic.Config { return mk(nodes) }, o.Cycles, o.Seed)
+			shards := o.Shards
+			if shards == 0 {
+				shards = DefaultShards(nodes)
+			}
+			vals := synthRow(spec, o.Kinds, func() traffic.Config { return mk(nodes) }, o.Cycles, o.Seed, shards)
 			rows[i] = row{spec.Name, vals}
 		})
 	}
@@ -175,6 +198,9 @@ type Figure4Opts struct {
 	Seed   uint64
 	Levels []int // tree sizes as 4^level; default {2,3}
 	Sweep  []int // parameter values; default {2,4,8,16}
+	// Shards is the per-simulation engine shard count: 0 selects
+	// DefaultShards, 1 forces serial. Bit-identical for any value.
+	Shards int
 }
 
 func (o *Figure4Opts) defaults() {
@@ -218,11 +244,16 @@ func Figure4(o Figure4Opts) (varyB, varyO *stats.Table) {
 	for _, lvl := range o.Levels {
 		spec := FatTreeSized(lvl)
 		nodes := 1 << (2 * uint(lvl)) // 4^lvl
+		shards := o.Shards
+		if shards == 0 {
+			shards = DefaultShards(nodes)
+		}
 		var base int64
 		{
 			tcfg := mkTraffic(nodes)
 			s := Build(BuildOpts{Net: spec, Kind: Plain, Seed: o.Seed, Costs: fastCosts,
-				Program: programFromTraffic(tcfg)})
+				EngineShards: shards,
+				Program:      programFromTraffic(tcfg)})
 			s.Eng.Run(o.Cycles)
 			base = s.Accepted()
 			s.Close()
@@ -237,15 +268,17 @@ func Figure4(o Figure4Opts) (varyB, varyO *stats.Table) {
 			tasks = append(tasks, func() {
 				tb := mkTraffic(nodes)
 				sb := Build(BuildOpts{Net: spec, Kind: NIFDY, Seed: o.Seed, Costs: fastCosts,
-					Params:  core.Config{O: 8, B: v, D: -1, W: 2},
-					Program: programFromTraffic(tb)})
+					Params:       core.Config{O: 8, B: v, D: -1, W: 2},
+					EngineShards: shards,
+					Program:      programFromTraffic(tb)})
 				sb.Eng.Run(o.Cycles)
 				results[vi].b = sb.Accepted()
 				sb.Close()
 				to := mkTraffic(nodes)
 				so := Build(BuildOpts{Net: spec, Kind: NIFDY, Seed: o.Seed, Costs: fastCosts,
-					Params:  core.Config{O: v, B: 8, D: -1, W: 2},
-					Program: programFromTraffic(to)})
+					Params:       core.Config{O: v, B: 8, D: -1, W: 2},
+					EngineShards: shards,
+					Program:      programFromTraffic(to)})
 				so.Eng.Run(o.Cycles)
 				results[vi].o = so.Accepted()
 				so.Close()

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"nifdy/internal/sim"
+	"nifdy/internal/traffic"
+)
+
+// TestShardedDeterminism is the cross-shard-wire counterpart of the golden
+// determinism suite: Figure 2/3-style workloads on the three partition
+// shapes (mesh blocks, torus blocks with wraparound cross edges, fat-tree
+// subtrees) must produce bit-identical traces — final stats, every Pending
+// sample, and completion state — at shards ∈ {1, 2, 4, 8}. The serial
+// engine (shards=1) is the reference. `make race` runs this under the race
+// detector, which additionally proves the staged-send protocol has no
+// cross-shard data races.
+func TestShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload determinism suite is slow")
+	}
+	const seed = 1995
+	shardCounts := []int{1, 2, 4, 8}
+	cases := []struct {
+		name   string
+		cycles sim.Cycle
+		opts   func() BuildOpts
+	}{
+		// Figure 2 workload (heavy) on contiguous mesh blocks.
+		{"mesh2d-nifdy-heavy", 10_000, func() BuildOpts {
+			c := traffic.Heavy(64, seed)
+			c.Phases = 1 << 20
+			return BuildOpts{Net: Mesh2D(), Kind: NIFDY, Seed: seed,
+				PendingInterval: 500, Program: programFromTraffic(c)}
+		}},
+		// Torus wraparound links always cross the first/last shard boundary.
+		{"torus2d-nifdy-heavy", 10_000, func() BuildOpts {
+			c := traffic.Heavy(64, seed)
+			c.Phases = 1 << 20
+			return BuildOpts{Net: Torus2D(), Kind: NIFDY, Seed: seed,
+				PendingInterval: 500, Program: programFromTraffic(c)}
+		}},
+		// Figure 3 workload (light) on fat-tree subtree partitions, where
+		// upper-level routers and their links split across shards.
+		{"fattree-nifdy-light", 12_000, func() BuildOpts {
+			c := traffic.Light(64, seed)
+			c.Phases = 1 << 20
+			return BuildOpts{Net: FullFatTree(), Kind: NIFDY, Seed: seed,
+				PendingInterval: 500, Program: programFromTraffic(c)}
+		}},
+		// Plain NICs saturate the fabric hardest (no flow control), pushing
+		// the most flits across shard boundaries per cycle.
+		{"mesh2d-plain-heavy", 10_000, func() BuildOpts {
+			c := traffic.Heavy(64, seed)
+			c.Phases = 1 << 20
+			return BuildOpts{Net: Mesh2D(), Kind: Plain, Seed: seed,
+				PendingInterval: 500, Program: programFromTraffic(c)}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			traces := make([]string, len(shardCounts))
+			tasks := make([]func(), len(shardCounts))
+			for i, n := range shardCounts {
+				i, n := i, n
+				tasks[i] = func() {
+					opts := tc.opts()
+					opts.EngineShards = n
+					traces[i] = goldenTrace(t, opts, tc.cycles, 500)
+				}
+			}
+			runParallel(tasks)
+			ref := traces[0]
+			if strings.Contains(ref, "total=0\n") {
+				t.Fatalf("reference trace moved no packets — workload is vacuous:\n%s", ref)
+			}
+			for i, n := range shardCounts[1:] {
+				if traces[i+1] != ref {
+					t.Errorf("shards=%d diverges from shards=1:\nreference:\n%s\ngot:\n%s",
+						n, ref, traces[i+1])
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,13 @@ import "nifdy/internal/sim"
 // re-arms the consumer for the event's arrival cycle, which is the wake edge
 // that makes the engine's quiescence skipping safe — a sleeping consumer is
 // always woken no later than the cycle its input changes.
+//
+// A wire whose single writer and consumer live in different engine shards
+// must be marked with CrossShard: sends then accumulate in a writer-owned
+// staging buffer and are merged into the consumer-visible event list (and
+// the observer woken) at the flush barrier, when no shard is ticking. Every
+// send arrives at least one cycle after it is issued, so a same-cycle merge
+// is never late and multi-shard execution stays bit-identical to serial.
 type Wire[T any] struct {
 	latency sim.Cycle
 	events  []timed[T]
@@ -26,6 +33,14 @@ type Wire[T any] struct {
 	// check plus a load through the slice.
 	next sim.Cycle
 	obs  *sim.Activity
+
+	// Cross-shard staging (nil/unused for same-shard wires). staged is
+	// written only by the wire's single writer during its shard's tick
+	// phase; Flush (run by crossFl, the writer's shard flusher) merges it
+	// into events during the flush phase, when the consumer is quiescent.
+	staged      []timed[T]
+	crossFl     *sim.Flusher
+	stagedDirty bool
 }
 
 type timed[T any] struct {
@@ -47,8 +62,16 @@ func (w *Wire[T]) Latency() int { return int(w.latency) }
 
 // Observe registers the consumer's activity: every subsequent send wakes it
 // at the event's arrival cycle. The consumer must live in the same engine
-// shard as all of the wire's senders.
+// shard as the wire's writer unless the wire is marked CrossShard.
 func (w *Wire[T]) Observe(a *sim.Activity) { w.obs = a }
+
+// CrossShard marks the wire as a cross-shard edge. f must be the writer's
+// shard Flusher: sends stage locally and the staged batch is merged into the
+// consumer-visible event list during the writer's flush phase, after the
+// tick barrier. The consumer's Activity (if observed) is woken at merge
+// time — Activity wake-lowering is atomic, so waking from another shard's
+// flush is safe.
+func (w *Wire[T]) CrossShard(f *sim.Flusher) { w.crossFl = f }
 
 // NextAt reports the arrival cycle of the oldest unconsumed event, or
 // sim.Never when the wire is empty — the time a quiescent consumer may
@@ -63,6 +86,20 @@ func (w *Wire[T]) Send(now sim.Cycle, v T) {
 // SendAt schedules v for arrival at cycle at (which must not precede already
 // scheduled arrivals; callers in this repository always send monotonically).
 func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
+	if w.crossFl != nil {
+		// Cross-shard: the consumer owns events/head/next during the tick
+		// phase, so stage writer-side and merge in Flush. Monotonicity
+		// against already-merged events is checked at merge time.
+		if n := len(w.staged); n > 0 && w.staged[n-1].at > at {
+			panic("link: out-of-order SendAt")
+		}
+		w.staged = append(w.staged, timed[T]{at, v})
+		if !w.stagedDirty {
+			w.stagedDirty = true
+			w.crossFl.Mark(w)
+		}
+		return
+	}
 	if n := len(w.events); n > 0 && w.events[n-1].at > at {
 		panic("link: out-of-order SendAt")
 	}
@@ -72,6 +109,33 @@ func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
 	}
 	if w.obs != nil {
 		w.obs.WakeAt(at)
+	}
+}
+
+// Flush implements sim.Latch for cross-shard wires: it merges the staged
+// sends into the event list and wakes the observer. It runs in the writer's
+// flush phase, after the tick barrier, so the consumer (which touches events
+// only while ticking) is guaranteed quiescent; the next tick phase sees the
+// merged list via the engine's phase barrier.
+func (w *Wire[T]) Flush() {
+	w.stagedDirty = false
+	if len(w.staged) == 0 {
+		return
+	}
+	if n := len(w.events); n > 0 && w.events[n-1].at > w.staged[0].at {
+		panic("link: out-of-order cross-shard merge")
+	}
+	first := w.staged[0].at
+	w.events = append(w.events, w.staged...)
+	for i := range w.staged {
+		w.staged[i] = timed[T]{}
+	}
+	w.staged = w.staged[:0]
+	if first < w.next {
+		w.next = first
+	}
+	if w.obs != nil {
+		w.obs.WakeAt(first)
 	}
 }
 
@@ -148,6 +212,10 @@ func (l *Link[T]) CyclesPerFlit() int { return int(l.cyclesPerFlit) }
 // Observe registers the consumer's activity with the underlying wire (see
 // Wire.Observe).
 func (l *Link[T]) Observe(a *sim.Activity) { l.wire.Observe(a) }
+
+// CrossShard marks the underlying wire as a cross-shard edge (see
+// Wire.CrossShard). f must be the sending side's shard Flusher.
+func (l *Link[T]) CrossShard(f *sim.Flusher) { l.wire.CrossShard(f) }
 
 // NextAt reports the arrival cycle of the oldest in-flight flit, or
 // sim.Never when none is in flight.

@@ -13,6 +13,7 @@ package node
 
 import (
 	"fmt"
+	"sync"
 
 	"nifdy/internal/nic"
 	"nifdy/internal/packet"
@@ -48,18 +49,39 @@ func CM5Costs() Costs {
 
 // Barrier is an idealized global barrier (the simulator feature of §3:
 // "global barriers can be included between send bursts").
+//
+// Participants may live in different engine shards, so arrival bookkeeping
+// is mutex-protected, and the release itself is deferred to the engine's
+// tick/flush boundary (Engine.AtBarrier), where no shard is ticking: every
+// participant — including the last arriver — resumes at the next cycle,
+// making the release instant independent of tick order and so identical for
+// any shard count. gen is read without the lock in the wait loops; that is
+// race-free because it is only written at the barrier drain, which the
+// engine's phase barriers order against every tick.
 type Barrier struct {
 	n       int
+	mu      sync.Mutex
 	arrived int
 	gen     uint64
 	// waiters are the activities of processors parked at the barrier; the
-	// last arrival wakes them all. Barrier state is only ever touched from
-	// program goroutines, which the engine runs one at a time.
+	// release wakes them all.
 	waiters []*sim.Activity
 }
 
 // NewBarrier returns a barrier for n participants.
 func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// release is the deferred completion: bump the generation and schedule every
+// parked participant for the next cycle. Runs at the tick/flush boundary.
+func (b *Barrier) release(now sim.Cycle) {
+	b.mu.Lock()
+	b.gen++
+	for _, a := range b.waiters {
+		a.WakeAt(now + 1)
+	}
+	b.waiters = b.waiters[:0]
+	b.mu.Unlock()
+}
 
 type abortSentinel struct{}
 
@@ -102,6 +124,11 @@ type Proc struct {
 	inbox ring.Deque[*packet.Packet]
 
 	program Program
+
+	// eng/shard are set by the engine at registration (sim.Binder); Barrier
+	// uses them to defer its release to the engine's tick/flush boundary.
+	eng   *sim.Engine
+	shard int
 }
 
 // NewProc returns a processor running program on n's NIC. Call Start before
@@ -164,6 +191,13 @@ func (p *Proc) Stop() {
 // Activity implements sim.IdleTicker: the processor sleeps through a pure
 // compute pause and permanently once its program completes.
 func (p *Proc) Activity() *sim.Activity { return &p.act }
+
+// BindEngine implements sim.Binder: the engine records where the processor
+// ticks so Barrier can stage cross-shard releases.
+func (p *Proc) BindEngine(e *sim.Engine, sh int) {
+	p.eng = e
+	p.shard = sh
+}
 
 // ready reports whether the program's blocking condition is satisfied. Timed
 // pauses compare the clock directly (no closure); other pauses evaluate their
@@ -340,17 +374,29 @@ func (p *Proc) RecvOr(stop func() bool) (*packet.Packet, bool) {
 // drop them) while waiting — a node parked at a barrier must keep pulling
 // packets or it would wedge every sender targeting it.
 func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
+	b.mu.Lock()
 	b.arrived++
 	gen := b.gen
-	if b.arrived == b.n {
+	last := b.arrived == b.n
+	if last {
 		b.arrived = 0
-		b.gen++
-		// Release: every parked participant resumes exactly the cycle its
-		// polled condition would have turned true.
-		for _, a := range b.waiters {
-			a.Wake()
+		if p.eng == nil {
+			// Unbound (manually ticked, single-goroutine) fallback: release
+			// immediately; this arriver's loop condition is already false.
+			b.gen++
+			for _, a := range b.waiters {
+				a.Wake()
+			}
+			b.waiters = b.waiters[:0]
 		}
-		b.waiters = b.waiters[:0]
+	}
+	b.mu.Unlock()
+	if last && p.eng != nil {
+		// Engine-driven release: runs at the tick/flush boundary, when no
+		// shard is ticking, so waking parked participants in other shards is
+		// race-free, and everyone (this arriver included) resumes at the
+		// next cycle regardless of tick order within this cycle.
+		p.eng.AtBarrier(p.shard, b.release)
 	}
 	for b.gen == gen {
 		if pkt, ok := p.inbox.PopFront(); ok {
@@ -367,11 +413,13 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 			continue
 		}
 		// Park rather than poll: both ways the condition can turn true have
-		// wake edges — the last arrival wakes every waiter, and the NIC's
+		// wake edges — the deferred release wakes every waiter, and the NIC's
 		// delivery observer fires when a packet becomes pollable. The NIC
 		// ticks before its processor, so a same-cycle delivery still resumes
 		// us this cycle, exactly as polling would.
+		b.mu.Lock()
 		b.waiters = append(b.waiters, &p.act)
+		b.mu.Unlock()
 		p.parked = true
 		p.pause(func(now sim.Cycle) bool { return b.gen != gen || p.nic.Pending() > 0 })
 	}

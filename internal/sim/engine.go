@@ -40,11 +40,18 @@
 //     Flusher are walked only on cycles in which they were actually written.
 //
 // Shard discipline: components in different shards must not share mutable
-// non-latched state. That includes wires and Activities — a component, every
-// writer into its input wires, and every caller of its Activity must live in
-// the same shard. All production experiments run single-shard (host
-// parallelism comes from running independent simulations concurrently); the
-// multi-shard engine exists for partitionable workloads and as an ablation.
+// non-latched state. A component and every writer into its input wires must
+// live in the same shard, with one exception: a link.Wire marked CrossShard
+// is a legal cross-shard edge — its sends are staged on the writer's side
+// and merged into the consumer-visible event list at the flush barrier, and
+// the consumer's Activity is woken only at merge time (wake times are
+// atomic CAS-min, so cross-shard wakes commute). Cross-shard effects that
+// are not wire sends (e.g. barrier releases waking processors in other
+// shards) must be deferred to the tick/flush boundary with AtBarrier, where
+// no shard is ticking. The harness partitions fabrics with topo.Network's
+// partition hook so that each node's router, NIC, and processor share a
+// shard and wires are the only cross-shard edges; under that discipline
+// multi-shard execution is bit-identical to serial.
 package sim
 
 import (
@@ -147,13 +154,21 @@ func (f *Flusher) run() {
 // shard is one scheduling unit: a tick list with its skip state, a static
 // flush list, and a dirty-latch flusher, plus the parked worker's channels.
 type shard struct {
-	tickers []Ticker
-	acts    []*Activity // parallel to tickers; nil entries always run
-	latches []Latch
-	flusher Flusher
+	tickers  []Ticker
+	acts     []*Activity // parallel to tickers; nil entries always run
+	latches  []Latch
+	flusher  Flusher
+	deferred []func(now Cycle) // staged by this shard's Ticks, drained at the barrier
 
 	start chan Cycle    // releases the worker into a tick phase
 	gate  chan struct{} // releases the worker into the flush phase
+}
+
+// Binder is implemented by components that need to know which engine and
+// shard they were registered into (e.g. to stage cross-shard work with
+// AtBarrier). RegisterSharded calls BindEngine before the first Step.
+type Binder interface {
+	BindEngine(e *Engine, sh int)
 }
 
 // Engine drives a set of Tickers and Latches through simulated cycles.
@@ -161,11 +176,12 @@ type Engine struct {
 	now    Cycle
 	shards []shard
 
-	parallel bool
-	skip     bool
-	latchRR  int
-	phase    chan struct{} // workers report phase completion here
-	closed   bool
+	parallel  bool
+	skip      bool
+	latchRR   int
+	phase     chan struct{} // workers report phase completion here
+	closed    bool
+	stepHooks []func(now Cycle)
 }
 
 // New returns an Engine with a single shard, executing serially, with
@@ -216,13 +232,54 @@ func (e *Engine) Register(t Ticker) { e.RegisterSharded(0, t) }
 // registration order. If t implements IdleTicker its Activity governs
 // skipping. Registration is only legal between Steps.
 func (e *Engine) RegisterSharded(sh int, t Ticker) {
-	s := &e.shards[sh%len(e.shards)]
+	sh %= len(e.shards)
+	s := &e.shards[sh]
 	s.tickers = append(s.tickers, t)
 	var a *Activity
 	if it, ok := t.(IdleTicker); ok {
 		a = it.Activity()
 	}
 	s.acts = append(s.acts, a)
+	if b, ok := t.(Binder); ok {
+		b.BindEngine(e, sh)
+	}
+}
+
+// RegisterStepHook adds f to the list of functions run at the top of every
+// Step, on the stepping goroutine, before any shard ticks. Hooks observe the
+// fully-flushed state of the previous cycle and must not mutate component
+// state; they exist for whole-simulation sampling (e.g. stats.Pending).
+func (e *Engine) RegisterStepHook(f func(now Cycle)) {
+	e.stepHooks = append(e.stepHooks, f)
+}
+
+// AtBarrier stages f to run at the tick/flush boundary of the current cycle,
+// on the stepping goroutine, after every shard's tick phase has completed and
+// before any flush begins. At that point no component is running, so f may
+// safely touch state across shards (the canonical use is releasing a
+// processor barrier whose waiters live in multiple shards). sh must be the
+// shard of the Ticker staging the call — each shard's deferred list is
+// single-writer during the tick phase. Deferred functions run in shard
+// order, then in staging order within a shard, making the drain
+// deterministic.
+func (e *Engine) AtBarrier(sh int, f func(now Cycle)) {
+	s := &e.shards[sh%len(e.shards)]
+	s.deferred = append(s.deferred, f)
+}
+
+// runDeferred drains every shard's deferred list at the tick/flush boundary.
+func (e *Engine) runDeferred(now Cycle) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		if len(s.deferred) == 0 {
+			continue
+		}
+		for j, f := range s.deferred {
+			f(now)
+			s.deferred[j] = nil
+		}
+		s.deferred = s.deferred[:0]
+	}
 }
 
 // RegisterLatch adds l to the every-cycle flush list. Flush work is sharded
@@ -283,10 +340,14 @@ func (e *Engine) flushShard(s *shard) {
 	}
 }
 
-// Step executes one full cycle: all Ticks, then all Flushes. The flush phase
-// starts only after every shard's tick phase has completed.
+// Step executes one full cycle: step hooks, then all Ticks, then any
+// barrier-deferred work, then all Flushes. The deferred drain and the flush
+// phase start only after every shard's tick phase has completed.
 func (e *Engine) Step() {
 	now := e.now
+	for _, f := range e.stepHooks {
+		f(now)
+	}
 	if e.parallel {
 		rest := e.shards[1:]
 		for i := range rest {
@@ -296,6 +357,7 @@ func (e *Engine) Step() {
 		for range rest {
 			<-e.phase
 		}
+		e.runDeferred(now)
 		for i := range rest {
 			rest[i].gate <- struct{}{}
 		}
@@ -306,6 +368,7 @@ func (e *Engine) Step() {
 	} else {
 		s := &e.shards[0]
 		e.tickShard(s, now)
+		e.runDeferred(now)
 		e.flushShard(s)
 	}
 	e.now++

@@ -17,9 +17,16 @@ import (
 // Pending tracks, per receiver, the number of data packets handed to some
 // sender's NIC but not yet accepted by the receiving processor — the
 // paper's "pending packets per receiver" congestion signal (Figure 5).
-// Register it as a Ticker to record periodic snapshots.
+//
+// Counts accumulate per engine shard (each NIC's hooks write only its own
+// shard's row, so hook calls from concurrently ticking shards never race)
+// and are summed at read points. Register it as a Ticker — or, for
+// multi-shard engines, install Sample as a step hook — to record periodic
+// snapshots; both observe the engine's quiescent between-cycles state, so
+// snapshots are identical for any shard count.
 type Pending struct {
-	counts   []int
+	counts   [][]int // [shard][receiver]
+	nodes    int
 	interval sim.Cycle
 	samples  [][]int
 	times    []sim.Cycle
@@ -29,26 +36,53 @@ type Pending struct {
 // NewPending returns a tracker for nodes receivers sampling every interval
 // cycles (interval <= 0 disables sampling; counts still work).
 func NewPending(nodes int, interval sim.Cycle) *Pending {
-	return &Pending{counts: make([]int, nodes), interval: interval}
+	p := &Pending{nodes: nodes, interval: interval}
+	p.SetShards(1)
+	return p
 }
 
-// Hooks returns NIC hooks that maintain the counts. Pass them to every NIC
-// in the simulation.
-func (p *Pending) Hooks() nic.Hooks {
-	return nic.Hooks{
-		OnSend:   func(pkt *packet.Packet) { p.counts[pkt.Dst]++ },
-		OnAccept: func(pkt *packet.Packet) { p.counts[pkt.Dst]-- },
+// SetShards sizes the per-shard accumulators. Call before handing out hooks
+// (existing counts are discarded).
+func (p *Pending) SetShards(shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	p.counts = make([][]int, shards)
+	for i := range p.counts {
+		p.counts[i] = make([]int, p.nodes)
 	}
 }
 
-// Count reports the current pending count for receiver n.
-func (p *Pending) Count(n int) int { return p.counts[n] }
+// Hooks returns NIC hooks accumulating into shard 0 — the single-shard
+// form of HooksFor.
+func (p *Pending) Hooks() nic.Hooks { return p.HooksFor(0) }
 
-// Max reports the largest current pending count.
+// HooksFor returns NIC hooks that maintain the counts in shard sh's
+// accumulator. Pass them to every NIC registered in that shard.
+func (p *Pending) HooksFor(sh int) nic.Hooks {
+	counts := p.counts[sh]
+	return nic.Hooks{
+		OnSend:   func(pkt *packet.Packet) { counts[pkt.Dst]++ },
+		OnAccept: func(pkt *packet.Packet) { counts[pkt.Dst]-- },
+	}
+}
+
+// Count reports the current pending count for receiver n, summed over
+// shards. Only call while the engine is between cycles.
+func (p *Pending) Count(n int) int {
+	c := 0
+	for _, row := range p.counts {
+		c += row[n]
+	}
+	return c
+}
+
+// Max reports the largest current pending count. Only call while the engine
+// is between cycles.
 func (p *Pending) Max() int {
 	m := 0
-	for _, c := range p.counts {
-		if c > m {
+	for n := 0; n < p.nodes; n++ {
+		if c := p.Count(n); c > m {
 			m = c
 		}
 	}
@@ -69,11 +103,28 @@ func (p *Pending) Tick(now sim.Cycle) {
 		p.act.Sleep(now - now%p.interval + p.interval)
 		return
 	}
-	snap := make([]int, len(p.counts))
-	copy(snap, p.counts)
+	p.snapshot(now)
+	p.act.Sleep(now + p.interval)
+}
+
+// Sample records a snapshot when now is an interval boundary. Install it
+// with Engine.RegisterStepHook on multi-shard engines: it then runs on the
+// stepping goroutine before any shard ticks, summing the per-shard rows at
+// the same pre-tick instant the registered-Ticker form samples at.
+func (p *Pending) Sample(now sim.Cycle) {
+	if p.interval <= 0 || now%p.interval != 0 {
+		return
+	}
+	p.snapshot(now)
+}
+
+func (p *Pending) snapshot(now sim.Cycle) {
+	snap := make([]int, p.nodes)
+	for n := range snap {
+		snap[n] = p.Count(n)
+	}
 	p.samples = append(p.samples, snap)
 	p.times = append(p.times, now)
-	p.act.Sleep(now + p.interval)
 }
 
 // Samples returns the recorded snapshots and their cycle stamps.
@@ -103,7 +154,7 @@ func (p *Pending) Heatmap() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "(shade scale: ' '=0 .. '@'=%d pending packets)\n", peak)
-	for n := range p.counts {
+	for n := 0; n < p.nodes; n++ {
 		fmt.Fprintf(&b, "%3d |", n)
 		for c := 0; c < len(p.samples); c += stride {
 			v := 0

@@ -70,6 +70,9 @@ type Fly struct {
 	perStage int
 	routers  [][]*router.Router // [stage][pos]
 	ifaces   []*router.Iface
+	// edges record every channel for cross-shard marking. Endpoint keys:
+	// router (s,r) -> s*perStage+r; node nd -> -(nd+1).
+	edges []topo.Edge
 }
 
 // New builds the network.
@@ -141,6 +144,9 @@ func (f *Fly) build() {
 		down := router.NewChannel(f.cfg.CPF, 1)
 		last.ConnectOut(port, down, ifBuf)
 		f.ifaces[nd].ConnectIn(down)
+		f.edges = append(f.edges,
+			topo.Edge{Ch: up, From: -(nd + 1), To: 0*f.perStage + nd/k},
+			topo.Edge{Ch: down, From: (n-1)*f.perStage + nd/k, To: -(nd + 1)})
 	}
 	// Inter-stage wiring: stage s router r, direction j, copy c connects to
 	// stage s+1 router r' = r with digit (n-2-s) replaced by j, input port
@@ -154,6 +160,8 @@ func (f *Fly) build() {
 					ch := router.NewChannel(f.cfg.CPF, 1)
 					f.routers[s][r].ConnectOut(j*D+c, ch, f.cfg.BufFlits)
 					f.routers[s+1][rNext].ConnectIn(inDir*D+c, ch)
+					f.edges = append(f.edges,
+						topo.Edge{Ch: ch, From: s*f.perStage + r, To: (s+1)*f.perStage + rNext})
 				}
 			}
 		}
@@ -187,6 +195,35 @@ func (f *Fly) RegisterRouters(e *sim.Engine) {
 			e.Register(r)
 		}
 	}
+}
+
+// Partition implements topo.Network: contiguous node blocks aligned to
+// groups of k, so a node and its injection/ejection routers share a shard.
+func (f *Fly) Partition(shards int) []int {
+	return topo.AlignedPartition(f.nodes, f.cfg.Radix, shards)
+}
+
+// routerShard places router (s,r) with the node group at its position: node
+// group nd/k = r holds the routers a node injects into (stage 0) and ejects
+// from (stage n-1), so those links stay shard-internal; middle stages
+// inherit the same spread.
+func (f *Fly) routerShard(r int, shardOf []int) int {
+	return shardOf[r*f.cfg.Radix]
+}
+
+// RegisterRoutersSharded implements topo.Network.
+func (f *Fly) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	for _, st := range f.routers {
+		for r, rt := range st {
+			e.RegisterSharded(f.routerShard(r, shardOf), rt)
+		}
+	}
+	topo.MarkCross(e, f.edges, func(key int) int {
+		if key < 0 {
+			return shardOf[-key-1]
+		}
+		return f.routerShard(key%f.perStage, shardOf)
+	})
 }
 
 // BufferedFlits implements topo.Network.

@@ -103,6 +103,9 @@ type Tree struct {
 	ifaces   []*router.Iface
 	classes  int // physical channel copies per logical port (2 when time-muxed)
 	cpf      int
+	// edges record every channel for cross-shard marking. Endpoint keys:
+	// router (l,w) -> l*perLevel+w; node n -> -(n+1).
+	edges []topo.Edge
 }
 
 // New builds the network.
@@ -194,12 +197,16 @@ func (t *Tree) build() {
 		})
 		leaf := t.routers[0][n/k]
 		port := n % k
+		leafKey := 0*t.perLevel + n/k
 		for cl := 0; cl < t.classes; cl++ {
 			up := router.NewChannel(t.cpf, 1)
 			down := router.NewChannel(t.cpf, 1)
 			pp := t.phys(port, packet.Class(cl))
 			leaf.ConnectIn(pp, up)
 			leaf.ConnectOut(pp, down, ifBuf)
+			t.edges = append(t.edges,
+				topo.Edge{Ch: up, From: -(n + 1), To: leafKey},
+				topo.Edge{Ch: down, From: leafKey, To: -(n + 1)})
 			if t.classes == 1 {
 				t.ifaces[n].ConnectOut(up, t.cfg.BufFlits)
 				t.ifaces[n].ConnectIn(down)
@@ -248,6 +255,7 @@ func (t *Tree) build() {
 				}
 				hi := t.routers[l+1][wUp]
 				hiPort := t.digit(w, l) // down port on the parent selects digit l
+				loKey, hiKey := l*t.perLevel+w, (l+1)*t.perLevel+wUp
 				for cl := 0; cl < t.classes; cl++ {
 					up := router.NewChannel(t.cpf, 1)
 					lo.ConnectOut(t.phys(k+m, packet.Class(cl)), up, t.cfg.BufFlits)
@@ -255,6 +263,9 @@ func (t *Tree) build() {
 					down := router.NewChannel(t.cpf, 1)
 					hi.ConnectOut(t.phys(hiPort, packet.Class(cl)), down, t.cfg.BufFlits)
 					lo.ConnectIn(t.phys(k+m, packet.Class(cl)), down)
+					t.edges = append(t.edges,
+						topo.Edge{Ch: up, From: loKey, To: hiKey},
+						topo.Edge{Ch: down, From: hiKey, To: loKey})
 				}
 			}
 		}
@@ -304,6 +315,38 @@ func (t *Tree) RegisterRouters(e *sim.Engine) {
 			e.Register(r)
 		}
 	}
+}
+
+// Partition implements topo.Network: contiguous node blocks aligned to leaf
+// groups of k, so a leaf router and all k nodes under it share a shard.
+func (t *Tree) Partition(shards int) []int {
+	return topo.AlignedPartition(t.nodes, t.cfg.Arity, shards)
+}
+
+// routerShard places router (l,w) given a node→shard map: internal routers
+// join the shard of their subtree's first leaf group (so a subtree entirely
+// inside one shard keeps all its routers and links there); top-level routers
+// are shared by every subtree, so they spread across shards by position.
+func (t *Tree) routerShard(l, w int, shardOf []int) int {
+	if l < t.cfg.Levels-1 {
+		w -= w % pow(t.cfg.Arity, l)
+	}
+	return shardOf[w*t.cfg.Arity]
+}
+
+// RegisterRoutersSharded implements topo.Network.
+func (t *Tree) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	for l, lvl := range t.routers {
+		for w, r := range lvl {
+			e.RegisterSharded(t.routerShard(l, w, shardOf), r)
+		}
+	}
+	topo.MarkCross(e, t.edges, func(key int) int {
+		if key < 0 {
+			return shardOf[-key-1]
+		}
+		return t.routerShard(key/t.perLevel, key%t.perLevel, shardOf)
+	})
 }
 
 // BufferedFlits implements topo.Network.

@@ -75,6 +75,10 @@ type Mesh struct {
 	routers []*router.Router
 	ifaces  []*router.Iface
 	strides []int
+	// edges are the router↔router channels, keyed by router index, for
+	// cross-shard marking (iface↔router channels stay shard-internal by
+	// construction: node n's iface and router share a shard).
+	edges []topo.Edge
 }
 
 // New builds the network.
@@ -145,12 +149,14 @@ func (m *Mesh) build() {
 				ch := router.NewChannel(m.cfg.CPF, 1)
 				m.routers[n].ConnectOut(plusPort(d), ch, m.cfg.BufFlits)
 				m.routers[nb].ConnectIn(minusPort(d), ch)
+				m.edges = append(m.edges, topo.Edge{Ch: ch, From: n, To: nb})
 			}
 			if c > 0 || m.cfg.Torus {
 				nb := n + ((c-1+m.cfg.Dims[d])%m.cfg.Dims[d]-c)*m.strides[d]
 				ch := router.NewChannel(m.cfg.CPF, 1)
 				m.routers[n].ConnectOut(minusPort(d), ch, m.cfg.BufFlits)
 				m.routers[nb].ConnectIn(plusPort(d), ch)
+				m.edges = append(m.edges, topo.Edge{Ch: ch, From: n, To: nb})
 			}
 		}
 	}
@@ -236,6 +242,22 @@ func (m *Mesh) RegisterRouters(e *sim.Engine) {
 	for _, r := range m.routers {
 		e.Register(r)
 	}
+}
+
+// Partition implements topo.Network: contiguous row-major node blocks, one
+// per shard (no alignment constraint — each node has its own router).
+func (m *Mesh) Partition(shards int) []int {
+	return topo.AlignedPartition(m.nodes, 1, shards)
+}
+
+// RegisterRoutersSharded implements topo.Network: router n joins node n's
+// shard, and neighbor channels crossing a block boundary become staged
+// cross-shard edges.
+func (m *Mesh) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	for n, r := range m.routers {
+		e.RegisterSharded(shardOf[n], r)
+	}
+	topo.MarkCross(e, m.edges, func(key int) int { return shardOf[key] })
 }
 
 // BufferedFlits implements topo.Network.

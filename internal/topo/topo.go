@@ -48,13 +48,80 @@ type Network interface {
 	Nodes() int
 	// Iface returns node n's interface port.
 	Iface(n int) *router.Iface
-	// RegisterRouters registers the fabric's routers with the engine.
+	// RegisterRouters registers the fabric's routers with the engine
+	// (all in shard 0; equivalent to RegisterRoutersSharded with a
+	// single-shard partition).
 	RegisterRouters(e *sim.Engine)
+	// Partition maps each node to an engine shard in [0, shards),
+	// topology-aware: contiguous blocks for meshes and tori, whole leaf
+	// groups (subtrees) for fat trees and butterflies, so that a node's
+	// interface and its leaf router always land in the same shard and
+	// most fabric links stay shard-internal.
+	Partition(shards int) []int
+	// RegisterRoutersSharded registers each router into the shard implied
+	// by shardOf (a node→shard map, normally from Partition) and marks
+	// every channel whose endpoints land in different shards as a
+	// cross-shard edge (link CrossShard staging). Interfaces are not
+	// registered — the NIC owning iface n must be registered in
+	// shardOf[n], as must node n's processor.
+	RegisterRoutersSharded(e *sim.Engine, shardOf []int)
 	// Chars reports the Table 3 characteristics.
 	Chars() Characteristics
 	// BufferedFlits reports flits currently buffered inside the fabric
 	// (congestion/occupancy metric; excludes iface ejection buffers).
 	BufferedFlits() int
+}
+
+// AlignedPartition maps nodes onto shards in contiguous blocks whose
+// boundaries fall only on multiples of align (align = the leaf group size a
+// topology must keep intact, 1 for meshes). Shard sizes are balanced to
+// within one group. shards values below 1 (or a non-positive align) yield
+// the all-zeros single-shard map.
+func AlignedPartition(nodes, align, shards int) []int {
+	shardOf := make([]int, nodes)
+	if shards <= 1 || align <= 0 {
+		return shardOf
+	}
+	groups := nodes / align
+	if groups < 1 {
+		return shardOf
+	}
+	if shards > groups {
+		shards = groups
+	}
+	for n := range shardOf {
+		g := n / align
+		if g >= groups { // remainder nodes ride with the last group
+			g = groups - 1
+		}
+		shardOf[n] = g * shards / groups
+	}
+	return shardOf
+}
+
+// Edge records one channel between two fabric components so a topology can
+// mark cross-shard links after partitioning. From and To are opaque
+// endpoint keys (router indices, or encoded node numbers) that the
+// topology's shard-lookup function resolves; From is the side writing
+// flits, To the side consuming them (credits flow the other way).
+type Edge struct {
+	Ch       *router.Channel
+	From, To int
+}
+
+// MarkCross walks edges and, for every one whose endpoints resolve to
+// different shards, marks the flit link with the writer's shard flusher and
+// the credit wire with the consumer's (credits travel To→From, so the flit
+// consumer is the credit writer).
+func MarkCross(e *sim.Engine, edges []Edge, shardAt func(key int) int) {
+	for _, ed := range edges {
+		ws, cs := shardAt(ed.From), shardAt(ed.To)
+		if ws == cs {
+			continue
+		}
+		ed.Ch.Flits.CrossShard(e.Flusher(ws))
+		ed.Ch.Credits.CrossShard(e.Flusher(cs))
+	}
 }
 
 // IfaceOptions are the knobs every topology passes through to its node

@@ -94,28 +94,30 @@ func (c *Config) defaults() {
 }
 
 // Gen builds the per-node programs for one synthetic run. All programs share
-// one barrier and one packet ID source; the engine must run them together.
+// one barrier; the engine must run them together. Packet and message
+// identities come from per-node ID spaces (packet.NewNodeIDs and a per-node
+// message sequence salted with the node number), so identity assignment is
+// independent of cross-node event order and race-free when nodes tick in
+// different engine shards.
 type Gen struct {
 	cfg Config
 	bar *node.Barrier
-	ids *packet.IDSource
-	// msgSeq disambiguates message IDs across nodes.
-	msgSeq uint64
 }
 
-// NewGen returns a generator for cfg using ids for packet identities.
+// NewGen returns a generator for cfg. The ids parameter is accepted for
+// compatibility and no longer consulted — identities are always per-node.
 func NewGen(cfg Config, ids *packet.IDSource) *Gen {
 	cfg.defaults()
-	if ids == nil {
-		ids = &packet.IDSource{}
-	}
-	return &Gen{cfg: cfg, bar: node.NewBarrier(cfg.Nodes), ids: ids}
+	_ = ids
+	return &Gen{cfg: cfg, bar: node.NewBarrier(cfg.Nodes)}
 }
 
 // Program returns node n's program.
 func (g *Gen) Program(n int) node.Program {
 	cfg := g.cfg
 	r := rng.NewStream(cfg.Seed, uint64(n))
+	ids := packet.NewNodeIDs(n)
+	var msgSeq uint64
 	weights := make([]int, len(cfg.Lengths))
 	for i, l := range cfg.Lengths {
 		weights[i] = l.Weight
@@ -138,15 +140,15 @@ func (g *Gen) Program(n int) node.Program {
 						dst = cfg.HotspotNode
 					}
 					length := cfg.Lengths[r.Pick(weights)].Packets
-					g.msgSeq++
-					msg := g.msgSeq
+					msgSeq++
+					msg := uint64(n)<<32 | msgSeq
 					bulk := cfg.BulkThreshold > 0 && length >= cfg.BulkThreshold
 					for i := 0; i < length; i++ {
 						// Outgoing packets come from the node's free-list;
 						// they are retired back into the receiving node's
 						// list below, so saturated phases run allocation-free.
 						pk := p.Alloc()
-						pk.ID = g.ids.Next()
+						pk.ID = ids.Next()
 						pk.Src = n
 						pk.Dst = dst
 						pk.Words = cfg.Words
