@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
+.PHONY: build test vet race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ vet:
 # check is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a PR lands.
 check: build vet test
+
+# check-deep runs the deep correctness sweep: the invariant-monitor
+# acceptance matrix and mutation suite, a scaled-up randomized
+# cross-configuration fuzz sweep, and native fuzzing of the queue
+# primitives. The time budget caps the add-on stages:
+# make check-deep MINUTES=15
+check-deep:
+	./scripts/checkdeep.sh $(MINUTES)
 
 # race exercises the concurrency-heavy packages — the engine's worker
 # pool and quiescence protocol, the harness's concurrent simulations,

@@ -9,6 +9,7 @@
 //	nifdy-bench -exp f2 -cpuprofile cpu.prof   # profile an experiment's hot path
 //	nifdy-bench -exp f2 -memprofile mem.prof   # heap snapshot after it finishes
 //	nifdy-bench -exp f2 -shards 4        # 4 engine shards per simulation (bit-identical)
+//	nifdy-bench -check                   # invariant-monitor fuzz sweep; exit 1 on violation
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
 // coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
@@ -61,6 +62,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
 		shards  = flag.Int("shards", 0, "engine shards per simulation for f2/f3/f4 (0 = min(GOMAXPROCS, nodes), 1 = serial; bit-identical results)")
 		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
+		chk     = flag.Bool("check", false, "run the invariant-monitor fuzz sweep instead of experiments (exit 1 on any violation; -full scales it up)")
 		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -105,6 +107,25 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	if *chk {
+		o := nifdy.FuzzOpts{Seed: *seed}
+		if *full {
+			o.Trials = 48
+			o.Packets = 60
+		}
+		start := time.Now()
+		res := nifdy.FuzzSweep(o)
+		for _, f := range res.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		fmt.Printf("invariant sweep: %d runs, %d failures in %v\n",
+			res.Runs, len(res.Failures), time.Since(start).Round(time.Millisecond))
+		if len(res.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var records []expRecord

@@ -1,0 +1,36 @@
+// Smoke tests for the runnable examples: each must build, run at a reduced
+// scale, exit 0, and print its headline line. These guard the public API
+// surface the examples exercise — a root-package rename that only the
+// examples use would otherwise go unnoticed by `go test ./...`.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, wantSubstr string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".." // repo root, where the nifdy module lives
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	if !strings.Contains(string(out), wantSubstr) {
+		t.Fatalf("go run %v output missing %q:\n%s", args, wantSubstr, out)
+	}
+}
+
+func TestQuickstart(t *testing.T) {
+	runExample(t, "round trip complete", "./examples/quickstart")
+}
+
+func TestEM3D(t *testing.T) {
+	runExample(t, "cycles per", "./examples/em3d")
+}
+
+func TestParamsweep(t *testing.T) {
+	runExample(t, "sweep ranking", "./examples/paramsweep", "-cycles", "2000")
+}

@@ -7,10 +7,12 @@ package harness
 import (
 	"fmt"
 
+	"nifdy/internal/check"
 	"nifdy/internal/core"
 	"nifdy/internal/nic"
 	"nifdy/internal/node"
 	"nifdy/internal/packet"
+	"nifdy/internal/router"
 	"nifdy/internal/sim"
 	"nifdy/internal/stats"
 	"nifdy/internal/topo"
@@ -61,6 +63,19 @@ type BuildOpts struct {
 	Seed uint64
 	// Drop enables the lossy-fabric model.
 	Drop float64
+	// Check enables the runtime invariant monitors (internal/check): the
+	// built Sim carries a Checker installed as an engine step hook,
+	// sweeping the protocol and substrate invariants at the configured
+	// cadence. Sequence accounting is automatically disabled for
+	// configurations that clone or drop packets (Retransmit,
+	// DialogTakeover, Drop), and the in-order monitor for combinations
+	// with no ordering guarantee (plain NICs on adaptive fabrics). Nil
+	// builds no checker and costs nothing.
+	Check *check.Options
+	// IfaceMutate injects test-only substrate faults into node
+	// IfaceMutateNode's interface, for invariant-monitor validation.
+	IfaceMutate     router.IfaceMutations
+	IfaceMutateNode int
 	// EngineShards selects intra-simulation parallelism: 0 or 1 builds the
 	// serial engine; larger values build sim.NewParallel and partition the
 	// fabric with the network's topology-aware Partition hook — each node's
@@ -81,6 +96,9 @@ type Sim struct {
 	NICs    []nic.NIC
 	Procs   []*node.Proc
 	Pending *stats.Pending
+	// Checker is the invariant-monitor subsystem, non-nil iff
+	// BuildOpts.Check was set.
+	Checker *check.Checker
 
 	stopped bool
 }
@@ -90,7 +108,10 @@ func Build(opts BuildOpts) *Sim {
 	if opts.Costs == (node.Costs{}) {
 		opts.Costs = node.CM5Costs()
 	}
-	ifOpts := topo.IfaceOptions{DropProb: opts.Drop, Seed: opts.Seed}
+	ifOpts := topo.IfaceOptions{
+		DropProb: opts.Drop, Seed: opts.Seed,
+		Mutate: opts.IfaceMutate, MutateNode: opts.IfaceMutateNode,
+	}
 	net := opts.Net.Build(opts.Seed, ifOpts)
 	shards := opts.EngineShards
 	if shards < 1 {
@@ -125,8 +146,27 @@ func Build(opts BuildOpts) *Sim {
 	if isZeroParams(params) {
 		params = opts.Net.Params
 	}
+	if opts.Check != nil {
+		co := *opts.Check
+		if opts.Drop > 0 || params.Retransmit || params.DialogTakeover > 0 {
+			// These modes clone or drop packets, breaking the pointer-keyed
+			// sequence accounting (losses are the point of Drop; clones are
+			// new pointers the hooks never saw).
+			co.Sequence = false
+			co.InOrder = false
+		}
+		if co.InOrder && opts.Kind != NIFDY && !opts.Net.InOrderFabric {
+			// A plain NIC on a reordering fabric has no ordering guarantee
+			// to check.
+			co.InOrder = false
+		}
+		s.Checker = check.New(s.Eng, net, co)
+	}
 	for n := 0; n < net.Nodes(); n++ {
 		hooks := s.Pending.HooksFor(shardOf[n])
+		if s.Checker != nil {
+			hooks = nic.Combine(hooks, s.Checker.HooksFor(shardOf[n]))
+		}
 		var nc nic.NIC
 		switch opts.Kind {
 		case Plain:
@@ -150,6 +190,9 @@ func Build(opts BuildOpts) *Sim {
 		}
 		s.Eng.RegisterSharded(shardOf[n], nc)
 		s.NICs = append(s.NICs, nc)
+		if s.Checker != nil {
+			s.Checker.AddNIC(nc)
+		}
 	}
 	if opts.Program != nil {
 		for n := 0; n < net.Nodes(); n++ {
@@ -162,8 +205,14 @@ func Build(opts BuildOpts) *Sim {
 			// same-cycle delivery is pollable by the processor's tick.
 			s.Eng.RegisterSharded(shardOf[n], p)
 			s.Procs = append(s.Procs, p)
+			if s.Checker != nil {
+				s.Checker.AddProc(p)
+			}
 			p.Start()
 		}
+	}
+	if s.Checker != nil {
+		s.Checker.Install()
 	}
 	return s
 }
@@ -171,7 +220,8 @@ func Build(opts BuildOpts) *Sim {
 // isZeroParams reports whether the caller left the NIFDY parameters unset.
 func isZeroParams(c core.Config) bool {
 	return c.O == 0 && c.B == 0 && c.D == 0 && c.W == 0 && !c.AckOnArrival &&
-		!c.PerPacketBulkAcks && !c.Piggyback && !c.Retransmit
+		!c.PerPacketBulkAcks && !c.Piggyback && !c.Retransmit &&
+		c.Mutate == (core.Mutations{})
 }
 
 // Close stops all processor goroutines and the engine's worker pool. Safe to

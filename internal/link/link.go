@@ -186,6 +186,20 @@ func (w *Wire[T]) Recv(now sim.Cycle) (v T, ok bool) {
 // Pending reports events not yet received.
 func (w *Wire[T]) Pending() int { return len(w.events) - w.head }
 
+// ForEach calls f on every unconsumed event in arrival order, with its
+// scheduled arrival cycle. It is an audit hook for the invariant monitors
+// (flit/credit conservation must count in-flight events) and must only be
+// called while the wire's writer and consumer are quiescent — e.g. from an
+// engine step hook, when cross-shard staging is guaranteed merged.
+func (w *Wire[T]) ForEach(f func(at sim.Cycle, v T)) {
+	if len(w.staged) > 0 {
+		panic("link: ForEach with unmerged cross-shard staging")
+	}
+	for _, e := range w.events[w.head:] {
+		f(e.at, e.v)
+	}
+}
+
 // Link is a byte-serial channel carrying one-word flits. A flit transmission
 // occupies the link for CyclesPerFlit cycles; the flit becomes receivable
 // when its last byte has crossed, CyclesPerFlit+latency-1 cycles after the
@@ -251,6 +265,9 @@ func (l *Link[T]) Recv(now sim.Cycle) (T, bool) { return l.wire.Recv(now) }
 
 // Pending reports flits in flight.
 func (l *Link[T]) Pending() int { return l.wire.Pending() }
+
+// ForEach calls f on every in-flight flit in arrival order (see Wire.ForEach).
+func (l *Link[T]) ForEach(f func(at sim.Cycle, v T)) { l.wire.ForEach(f) }
 
 // Sent reports the total number of flits ever sent (utilization stats).
 func (l *Link[T]) Sent() int64 { return l.sent }

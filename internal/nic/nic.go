@@ -56,6 +56,53 @@ func (h Hooks) Accept(p *packet.Packet) {
 	}
 }
 
+// Combine returns Hooks that fire a's callbacks then b's, so independent
+// observers (e.g. the stats sampler and the invariant monitors) can share one
+// NIC's hook slot.
+func Combine(a, b Hooks) Hooks {
+	if a.OnSend == nil && a.OnAccept == nil {
+		return b
+	}
+	if b.OnSend == nil && b.OnAccept == nil {
+		return a
+	}
+	return Hooks{
+		OnSend:   func(p *packet.Packet) { a.Send(p); b.Send(p) },
+		OnAccept: func(p *packet.Packet) { a.Accept(p); b.Accept(p) },
+	}
+}
+
+// Auditor is a read-only visitor over a NIC's internal packet references and
+// protocol state, used by the invariant monitors. The contract: Queued fires
+// once per whole-packet reference the NIC holds (a live packet must never
+// have two); the protocol callbacks describe NIFDY's admission state and are
+// never called by protocol-less NICs. Audits run only at quiescent points
+// (engine step hooks). Nil callbacks are skipped.
+type Auditor struct {
+	// Queued reports a whole-packet reference held in the queue named
+	// where ("out", "arr", "pool", "window", ...).
+	Queued func(where string, p *packet.Packet)
+	// OPTEntry reports one occupied Output Port Table slot (NIFDY §2.2):
+	// dst is the destination with an outstanding scalar packet.
+	OPTEntry func(dst int)
+	// DialogOut reports the sender-side bulk dialog, when active: the
+	// destination and the unacknowledged packet count (bound W).
+	DialogOut func(dst, outstanding int)
+	// DialogIn reports one active receiver-side dialog slot (bound D):
+	// the sending node, the next expected sequence number, and the count
+	// of out-of-order packets parked in the window buffer.
+	DialogIn func(slot, src, expected, buffered int)
+	// WindowSlot reports one occupied window-buffer entry of dialog slot;
+	// the packet is also reported via Queued("window", p).
+	WindowSlot func(slot int, p *packet.Packet)
+}
+
+// Auditable is implemented by NICs that expose their state to the invariant
+// monitors.
+type Auditable interface {
+	Audit(a Auditor)
+}
+
 // NIC is the processor's view of its network interface. A NIC owns its
 // router.Iface and ticks it; processors interact only through TrySend/Recv.
 type NIC interface {
@@ -179,6 +226,16 @@ func (b *Basic) Idle() bool {
 	return b.out.Len() == 0 && b.arr.Len() == 0 &&
 		b.iface.Sending(packet.Request) == nil && b.iface.Sending(packet.Reply) == nil &&
 		b.iface.PendingFlits() == 0
+}
+
+// Audit implements Auditable: the Basic NIC holds packets only in its two
+// FIFOs and has no protocol state.
+func (b *Basic) Audit(a Auditor) {
+	if a.Queued == nil {
+		return
+	}
+	b.out.ForEach(func(p *packet.Packet) { a.Queued("out", p) })
+	b.arr.ForEach(func(p *packet.Packet) { a.Queued("arr", p) })
 }
 
 // Tick implements sim.Ticker: pump the iface, inject the FIFO head if its

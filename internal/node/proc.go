@@ -342,6 +342,13 @@ func (p *Proc) Poll() (*packet.Packet, bool) {
 // reordering/bookkeeping (set by the message layer on out-of-order fabrics).
 const TagNeedsReorder = 1
 
+// AuditInbox visits every packet parked in the processor's inbox (handled
+// during a stalled send, not yet returned by Poll). Used by the invariant
+// monitors' whole-packet census; call only at quiescent points.
+func (p *Proc) AuditInbox(f func(*packet.Packet)) {
+	p.inbox.ForEach(f)
+}
+
 // HasPending reports whether a packet is ready for the processor, either
 // already handled into the inbox or waiting at the NIC.
 func (p *Proc) HasPending() bool {

@@ -64,6 +64,18 @@ func (pl *Pool) Put(p *Packet) {
 	pl.free = append(pl.free, p)
 }
 
+// ForEachFree calls f on every pooled (dead) packet. The invariant monitors
+// use it for recycle-safety audits: no pooled pointer may also be reachable
+// from a live queue, buffer, or in-flight flit. Nil-safe like every method.
+func (pl *Pool) ForEachFree(f func(*Packet)) {
+	if pl == nil {
+		return
+	}
+	for _, p := range pl.free {
+		f(p)
+	}
+}
+
 // Size reports the packets currently pooled.
 func (pl *Pool) Size() int {
 	if pl == nil {

@@ -49,12 +49,46 @@ func (d *Deque[T]) PushBack(v T) {
 	d.n++
 }
 
+// PushFront prepends v: it becomes the next PopFront result.
+func (d *Deque[T]) PushFront(v T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head--
+	if d.head < 0 {
+		d.head = len(d.buf) - 1
+	}
+	d.buf[d.head] = v
+	d.n++
+}
+
 // Front returns the oldest item without removing it.
 func (d *Deque[T]) Front() (v T, ok bool) {
 	if d.n == 0 {
 		return v, false
 	}
 	return d.buf[d.head], true
+}
+
+// At returns the i-th queued item (0 is the front). It panics when i is out
+// of range, mirroring slice indexing.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic("ring: index out of range")
+	}
+	j := d.head + i
+	if j >= len(d.buf) {
+		j -= len(d.buf)
+	}
+	return d.buf[j]
+}
+
+// ForEach calls f on every queued item, front to back, without removing any.
+// The deque must not be mutated during the walk.
+func (d *Deque[T]) ForEach(f func(T)) {
+	for i := 0; i < d.n; i++ {
+		f(d.At(i))
+	}
 }
 
 // PopFront removes and returns the oldest item, zeroing its slot.

@@ -1,0 +1,114 @@
+package router
+
+import "nifdy/internal/packet"
+
+// Auditor is a read-only visitor over a Router's internal state, used by the
+// invariant monitors (internal/check) to take a global census of flits and
+// credits. Audit must only be called while the router is quiescent — e.g.
+// from an engine step hook, before any shard ticks. Nil callbacks are
+// skipped.
+type Auditor struct {
+	// InVC is called once per (input port, global VC) with a connected
+	// channel: the channel whose flits fill this buffer, the current
+	// occupancy, and the capacity (the credit grant the upstream holds).
+	InVC func(port, vc int, ch *Channel, occupancy, capacity int)
+	// BufFlit is called for every buffered flit, oldest first, after the
+	// InVC call for its (port, vc).
+	BufFlit func(port, vc int, f packet.Flit)
+	// OutVC is called once per (output port, global VC) with a connected
+	// channel: the free downstream slots currently held and the initial
+	// grant.
+	OutVC func(port, vc int, ch *Channel, credits, initial int)
+}
+
+// Audit walks the router's input buffers and output credit counters.
+func (r *Router) Audit(a Auditor) {
+	for i := range r.in {
+		ip := &r.in[i]
+		if ip.ch == nil {
+			continue
+		}
+		for v := range ip.vcs {
+			vs := &ip.vcs[v]
+			if a.InVC != nil {
+				a.InVC(i, v, ip.ch, vs.n, r.cfg.BufFlits)
+			}
+			if a.BufFlit != nil {
+				for k := 0; k < vs.n; k++ {
+					a.BufFlit(i, v, *vs.at(k))
+				}
+			}
+		}
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.ch == nil {
+			continue
+		}
+		for g := range op.credits {
+			if a.OutVC != nil {
+				a.OutVC(o, g, op.ch, op.credits[g], op.initial)
+			}
+		}
+	}
+}
+
+// IfaceAuditor is the Iface counterpart of Auditor: a read-only visitor over
+// an interface's serialization slots, ejection buffers, and injection
+// credits. Nil callbacks are skipped.
+type IfaceAuditor struct {
+	// Sending is called for each class with a packet mid-serialization,
+	// with the count of flits already pushed into the fabric.
+	Sending func(c packet.Class, p *packet.Packet, sentFlits int)
+	// EjectVC is called once per (global VC, connected ejection channel)
+	// with occupancy and capacity.
+	EjectVC func(vc int, ch *Channel, occupancy, capacity int)
+	// EjectFlit is called for every buffered ejection flit, oldest first,
+	// after the EjectVC call for its VC.
+	EjectFlit func(vc int, f packet.Flit)
+	// OutVC is called once per (global VC, connected injection channel)
+	// with the credits currently held and the initial grant.
+	OutVC func(vc int, ch *Channel, credits, initial int)
+}
+
+// Audit walks the iface's slots, ejection buffers, and credit counters. Like
+// Router.Audit it must only run while the fabric is quiescent.
+func (f *Iface) Audit(a IfaceAuditor) {
+	for c := range f.slots {
+		s := &f.slots[c]
+		if s.p != nil && a.Sending != nil {
+			a.Sending(packet.Class(c), s.p, s.next)
+		}
+	}
+	for g := range f.eject {
+		ch := f.inCh[g/f.cfg.VCs]
+		if ch == nil {
+			continue
+		}
+		if a.EjectVC != nil {
+			a.EjectVC(g, ch, len(f.eject[g].q), f.cfg.BufFlits)
+		}
+		if a.EjectFlit != nil {
+			for _, fl := range f.eject[g].q {
+				a.EjectFlit(g, fl)
+			}
+		}
+	}
+	for g := range f.credits {
+		ch := f.outCh[g/f.cfg.VCs]
+		if ch == nil {
+			continue
+		}
+		if a.OutVC != nil {
+			a.OutVC(g, ch, f.credits[g], f.initCred[g])
+		}
+	}
+}
+
+// FlitCounters reports lifetime flit counts: flits pushed into the fabric,
+// flits extracted by packet delivery, and flits extracted by the loss model.
+// injected - delivered - dropped equals the flits currently in the fabric on
+// this iface's account, which is what the global conservation monitor sums.
+func (f *Iface) FlitCounters() (injected, delivered, dropped int64) {
+	return f.injectedFlits, f.deliveredFlits, f.droppedFlits
+}

@@ -24,6 +24,25 @@ type IfaceConfig struct {
 	DropProb float64
 	// RNG drives loss decisions.
 	RNG *rng.Source
+	// Mutate injects substrate faults for monitor validation (test-only).
+	Mutate IfaceMutations
+}
+
+// IfaceMutations are deliberate, one-shot substrate faults used by the
+// internal/check mutation tests to prove the conservation monitors trip.
+// They must never be set outside tests.
+type IfaceMutations struct {
+	// DropArrival silently discards the first flit that arrives on an
+	// ejection channel — no buffer entry, no credit — violating flit (and
+	// credit) conservation.
+	DropArrival bool
+	// LeakCredit withholds one credit on the first packet extraction,
+	// violating credit conservation.
+	LeakCredit bool
+	// IgnoreCredit sends one flit past an exhausted credit counter,
+	// driving it negative — the overcommit the VC-capacity monitor must
+	// catch before the downstream buffer overflows.
+	IgnoreCredit bool
 }
 
 type ifSlot struct {
@@ -51,10 +70,11 @@ type ejectVC struct {
 type Iface struct {
 	cfg IfaceConfig
 
-	outCh   [packet.NumClasses]*Channel
-	credits []int
-	slots   [packet.NumClasses]ifSlot
-	clsRR   int
+	outCh    [packet.NumClasses]*Channel
+	credits  []int
+	initCred []int // initial grant per global vc (audit reference)
+	slots    [packet.NumClasses]ifSlot
+	clsRR    int
 
 	inCh    [packet.NumClasses]*Channel
 	eject   []ejectVC
@@ -63,6 +83,9 @@ type Iface struct {
 
 	injectedPkts, deliveredPkts, droppedPkts int64
 	injectedFlits                            int64
+	deliveredFlits, droppedFlits             int64
+
+	mutDropDone, mutLeakDone, mutCreditDone bool
 
 	// act is the quiescence latch shared by the iface and the NIC that
 	// ticks it: flit arrivals on any ejection channel wake it.
@@ -86,6 +109,7 @@ func NewIface(cfg IfaceConfig) *Iface {
 		f.eject[i].q = make([]packet.Flit, 0, cfg.BufFlits)
 	}
 	f.credits = make([]int, nvc)
+	f.initCred = make([]int, nvc)
 	for i := range f.slots {
 		f.slots[i].vc = -1
 	}
@@ -109,6 +133,7 @@ func (f *Iface) ConnectOutClass(c packet.Class, ch *Channel, routerDepth int) {
 	base := int(c) * f.cfg.VCs
 	for v := 0; v < f.cfg.VCs; v++ {
 		f.credits[base+v] = routerDepth
+		f.initCred[base+v] = routerDepth
 	}
 }
 
@@ -252,6 +277,12 @@ func (f *Iface) drainArrivals(now sim.Cycle) bool {
 		for ch.Flits.Ready(now) {
 			fl, _ := ch.Flits.Recv(now)
 			progress = true
+			if f.cfg.Mutate.DropArrival && !f.mutDropDone {
+				// Injected fault: the flit vanishes without a buffer slot
+				// or credit, so conservation monitors must trip.
+				f.mutDropDone = true
+				continue
+			}
 			vc := &f.eject[fl.VC]
 			if len(vc.q) >= f.cfg.BufFlits {
 				panic(fmt.Sprintf("iface %d: eject vc %d overflow", f.cfg.Node, fl.VC))
@@ -259,16 +290,18 @@ func (f *Iface) drainArrivals(now sim.Cycle) bool {
 			vc.q = append(vc.q, fl)
 			f.ejected++
 			if fl.Tail() && f.cfg.DropProb > 0 && f.cfg.RNG != nil && f.cfg.RNG.Bool(f.cfg.DropProb) {
-				f.extract(now, fl.VC, fl.Pkt)
+				removed := f.extract(now, fl.VC, fl.Pkt)
 				f.droppedPkts++
+				f.droppedFlits += int64(removed)
 			}
 		}
 	}
 	return progress
 }
 
-// extract removes all flits of p from eject vc g and returns their credits.
-func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) {
+// extract removes all flits of p from eject vc g, returns their credits, and
+// reports how many flits it removed.
+func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) int {
 	vc := &f.eject[g]
 	kept := vc.q[:0]
 	removed := 0
@@ -285,9 +318,16 @@ func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) {
 	vc.q = kept
 	f.ejected -= removed
 	ch := f.inCh[g/f.cfg.VCs]
-	for i := 0; i < removed; i++ {
+	credits := removed
+	if f.cfg.Mutate.LeakCredit && !f.mutLeakDone && credits > 0 {
+		// Injected fault: one buffer slot's credit never returns.
+		f.mutLeakDone = true
+		credits--
+	}
+	for i := 0; i < credits; i++ {
 		ch.Credits.Send(now, Credit{VC: g})
 	}
+	return removed
 }
 
 func (f *Iface) sendFlits(now sim.Cycle) bool {
@@ -329,7 +369,11 @@ func (f *Iface) sendFlits(now sim.Cycle) bool {
 			s.p.InjectedAt = now
 		}
 		if f.credits[s.vc] <= 0 {
-			continue
+			if !f.cfg.Mutate.IgnoreCredit || f.mutCreditDone {
+				continue
+			}
+			// Injected fault: overcommit the downstream buffer once.
+			f.mutCreditDone = true
 		}
 		fl := packet.Flit{Pkt: s.p, Index: s.next, VC: s.vc}
 		ch.Flits.Send(now, fl)
@@ -378,8 +422,9 @@ func (f *Iface) Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.
 		if pred != nil && !pred(p) {
 			continue
 		}
-		f.extract(now, g, p)
+		removed := f.extract(now, g, p)
 		f.deliveredPkts++
+		f.deliveredFlits += int64(removed)
 		p.DeliveredAt = now
 		f.scanRR = g + 1
 		if f.scanRR == n {

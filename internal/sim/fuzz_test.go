@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzQueue drives a latched Queue and a reference model (visible and
+// pending slices plus the capacity rule) through the same byte-coded
+// operation sequence. The queue's tick/flush visibility split is what keeps
+// multi-component cycles deterministic, so the model tracks both regions
+// explicitly and cross-checks every observable after each op.
+//
+// The first byte picks the capacity (0 = unbounded, else 1..8); each
+// following byte b selects op b%5 — 0 Push, 1 Pop, 2 Peek, 3 Flush,
+// 4 Drain.
+func FuzzQueue(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 3, 1, 1})             // unbounded: push, flush, pop
+	f.Add([]byte{2, 0, 0, 0, 3, 1})             // cap 2: third push must refuse
+	f.Add([]byte{1, 0, 3, 1, 0, 3, 1})          // cap 1: steady one-per-cycle
+	f.Add([]byte{0, 0, 1, 2, 3, 4})             // pops before flush see nothing
+	f.Add([]byte{3, 0, 0, 3, 0, 0, 3, 4, 0, 3}) // interleaved flush/drain
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		capacity := int(ops[0] % 9) // 0 = unbounded
+		q := NewQueue[int](capacity)
+		var vis, pend []int
+		next := 0
+		for _, b := range ops[1:] {
+			switch b % 5 {
+			case 0:
+				wantOK := capacity <= 0 || len(vis)+len(pend) < capacity
+				if got := q.CanPush(); got != wantOK {
+					t.Fatalf("CanPush = %v, want %v (vis %d pend %d cap %d)",
+						got, wantOK, len(vis), len(pend), capacity)
+				}
+				if got := q.Push(next); got != wantOK {
+					t.Fatalf("Push accepted=%v, want %v", got, wantOK)
+				}
+				if wantOK {
+					pend = append(pend, next)
+				}
+				next++
+			case 1:
+				v, ok := q.Pop()
+				if ok != (len(vis) > 0) {
+					t.Fatalf("Pop ok=%v with %d visible", ok, len(vis))
+				}
+				if ok {
+					if v != vis[0] {
+						t.Fatalf("Pop = %d, want %d", v, vis[0])
+					}
+					vis = vis[1:]
+				}
+			case 2:
+				v, ok := q.Peek()
+				if ok != (len(vis) > 0) {
+					t.Fatalf("Peek ok=%v with %d visible", ok, len(vis))
+				}
+				if ok && v != vis[0] {
+					t.Fatalf("Peek = %d, want %d", v, vis[0])
+				}
+			case 3:
+				q.Flush()
+				vis = append(vis, pend...)
+				pend = pend[:0]
+			case 4:
+				var got []int
+				q.Drain(func(v int) { got = append(got, v) })
+				if len(got) != len(vis) {
+					t.Fatalf("Drain yielded %d items, want %d", len(got), len(vis))
+				}
+				for i, v := range got {
+					if v != vis[i] {
+						t.Fatalf("Drain[%d] = %d, want %d", i, v, vis[i])
+					}
+				}
+				vis = vis[:0]
+			}
+			if q.Len() != len(vis) {
+				t.Fatalf("Len = %d, want %d", q.Len(), len(vis))
+			}
+			if q.Occupied() != len(vis)+len(pend) {
+				t.Fatalf("Occupied = %d, want %d", q.Occupied(), len(vis)+len(pend))
+			}
+		}
+	})
+}

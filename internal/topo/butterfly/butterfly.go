@@ -132,6 +132,7 @@ func (f *Fly) build() {
 			Node: nd, VCs: f.cfg.VCs, BufFlits: ifBuf,
 			DropProb: f.cfg.Iface.DropProb,
 			RNG:      f.cfg.Iface.LossRNG(uint64(nd)),
+			Mutate:   f.cfg.Iface.MutateFor(nd),
 		})
 		// Injection into stage 0, ejection from stage n-1; port dir = the
 		// node's lowest digit, copy 0.
@@ -224,6 +225,15 @@ func (f *Fly) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
 		}
 		return f.routerShard(key%f.perStage, shardOf)
 	})
+}
+
+// AuditRouters implements topo.Network.
+func (f *Fly) AuditRouters(fn func(*router.Router)) {
+	for _, st := range f.routers {
+		for _, r := range st {
+			fn(r)
+		}
+	}
 }
 
 // BufferedFlits implements topo.Network.

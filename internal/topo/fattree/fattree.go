@@ -194,6 +194,7 @@ func (t *Tree) build() {
 			Node: n, VCs: t.cfg.VCs, BufFlits: ifBuf,
 			DropProb: t.cfg.Iface.DropProb,
 			RNG:      t.cfg.Iface.LossRNG(uint64(n)),
+			Mutate:   t.cfg.Iface.MutateFor(n),
 		})
 		leaf := t.routers[0][n/k]
 		port := n % k
@@ -347,6 +348,15 @@ func (t *Tree) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
 		}
 		return t.routerShard(key/t.perLevel, key%t.perLevel, shardOf)
 	})
+}
+
+// AuditRouters implements topo.Network.
+func (t *Tree) AuditRouters(f func(*router.Router)) {
+	for _, lvl := range t.routers {
+		for _, r := range lvl {
+			f(r)
+		}
+	}
 }
 
 // BufferedFlits implements topo.Network.

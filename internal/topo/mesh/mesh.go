@@ -133,6 +133,7 @@ func (m *Mesh) build() {
 			Node: n, VCs: m.cfg.VCs, BufFlits: ifBuf,
 			DropProb: m.cfg.Iface.DropProb,
 			RNG:      m.cfg.Iface.LossRNG(uint64(n)),
+			Mutate:   m.cfg.Iface.MutateFor(n),
 		})
 		up := router.NewChannel(m.cfg.CPF, 1)
 		m.ifaces[n].ConnectOut(up, m.cfg.BufFlits)
@@ -258,6 +259,13 @@ func (m *Mesh) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
 		e.RegisterSharded(shardOf[n], r)
 	}
 	topo.MarkCross(e, m.edges, func(key int) int { return shardOf[key] })
+}
+
+// AuditRouters implements topo.Network.
+func (m *Mesh) AuditRouters(f func(*router.Router)) {
+	for _, r := range m.routers {
+		f(r)
+	}
 }
 
 // BufferedFlits implements topo.Network.

@@ -70,6 +70,11 @@ type Network interface {
 	// BufferedFlits reports flits currently buffered inside the fabric
 	// (congestion/occupancy metric; excludes iface ejection buffers).
 	BufferedFlits() int
+	// AuditRouters calls f once per fabric router, in a deterministic
+	// order. The invariant monitors use it to take a global census of
+	// buffered flits and credits; like router.Audit it must only run while
+	// the fabric is quiescent (e.g. from an engine step hook).
+	AuditRouters(f func(*router.Router))
 }
 
 // AlignedPartition maps nodes onto shards in contiguous blocks whose
@@ -134,6 +139,20 @@ type IfaceOptions struct {
 	DropProb float64
 	// Seed seeds per-node loss RNG streams.
 	Seed uint64
+	// Mutate injects one-shot substrate faults into node MutateNode's
+	// interface, for invariant-monitor validation (test-only).
+	Mutate router.IfaceMutations
+	// MutateNode selects the node whose interface receives Mutate.
+	MutateNode int
+}
+
+// MutateFor returns the fault set for node n: Mutate when n is MutateNode,
+// the zero (no-op) set otherwise.
+func (o IfaceOptions) MutateFor(n int) router.IfaceMutations {
+	if n == o.MutateNode {
+		return o.Mutate
+	}
+	return router.IfaceMutations{}
 }
 
 // EffectiveBufFlits applies the default.

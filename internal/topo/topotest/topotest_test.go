@@ -1,0 +1,71 @@
+package topotest_test
+
+import (
+	"testing"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/topo/mesh"
+	"nifdy/internal/topo/topotest"
+)
+
+// The topotest harness is itself load-bearing — every topology's conformance
+// suite trusts its bookkeeping — so pin that bookkeeping here on the smallest
+// real fabric.
+
+func TestHarnessEnqueueBookkeeping(t *testing.T) {
+	h := topotest.NewHarness(t, mesh.New(mesh.Config{Dims: []int{2, 2}}))
+	a := h.Enqueue(0, 3, 8, packet.Request)
+	b := h.Enqueue(0, 1, 8, packet.Request)
+	c := h.Enqueue(2, 1, 8, packet.Reply)
+	if a.Meta.Index != 0 || b.Meta.Index != 1 || c.Meta.Index != 0 {
+		t.Fatalf("per-source indices %d,%d,%d, want 0,1,0",
+			a.Meta.Index, b.Meta.Index, c.Meta.Index)
+	}
+	if a.ID == b.ID || b.ID == c.ID {
+		t.Fatal("packet IDs not unique")
+	}
+	if a.Dialog != packet.NoDialog {
+		t.Fatalf("dialog %d, want NoDialog", a.Dialog)
+	}
+	if c.Class != packet.Reply {
+		t.Fatalf("class %v, want Reply", c.Class)
+	}
+}
+
+func TestHarnessAllPairsCount(t *testing.T) {
+	h := topotest.NewHarness(t, mesh.New(mesh.Config{Dims: []int{2, 2}}))
+	h.AllPairs(8)
+	got := h.Run(100_000)
+	if want := 4 * 3; len(got) != want {
+		t.Fatalf("delivered %d packets, want %d", len(got), want)
+	}
+	h.CheckDrained()
+	h.CheckPairOrder()
+	// Every ordered pair received exactly one packet.
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			if n := len(h.ByPair[[2]int{s, d}]); n != 1 {
+				t.Fatalf("pair (%d,%d) received %d packets, want 1", s, d, n)
+			}
+		}
+	}
+}
+
+func TestHarnessEnqueueRandomDistinctPairs(t *testing.T) {
+	h := topotest.NewHarness(t, mesh.New(mesh.Config{Dims: []int{2, 2}}))
+	h.EnqueueRandom(50, 8, 42)
+	got := h.Run(200_000)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d packets, want 50", len(got))
+	}
+	for _, p := range got {
+		if p.Src == p.Dst {
+			t.Fatalf("packet %v sent to itself", p)
+		}
+	}
+	h.CheckDrained()
+	h.CheckPairOrder()
+}

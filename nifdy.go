@@ -34,6 +34,7 @@
 package nifdy
 
 import (
+	"nifdy/internal/check"
 	"nifdy/internal/core"
 	"nifdy/internal/harness"
 	"nifdy/internal/nic"
@@ -205,3 +206,23 @@ type (
 	// ModelCheckOpts parameterizes ModelCheck.
 	ModelCheckOpts = harness.ModelCheckOpts
 )
+
+// Correctness tooling (internal/check): runtime invariant monitors and the
+// cross-configuration fuzz sweep. Arm the monitors on any System by setting
+// Options.Check; see DESIGN.md §6.
+type (
+	// CheckOptions arms the invariant monitors on a System (Options.Check).
+	CheckOptions = check.Options
+	// CheckViolation is one invariant violation report.
+	CheckViolation = check.Violation
+	// Checker is the installed invariant-monitor subsystem (System.Checker).
+	Checker = check.Checker
+	// FuzzOpts parameterizes FuzzSweep.
+	FuzzOpts = harness.FuzzOpts
+	// FuzzResult summarizes a FuzzSweep run.
+	FuzzResult = harness.FuzzResult
+)
+
+// FuzzSweep runs randomized cross-configuration simulations with every
+// invariant monitor armed, diffing sharded runs against the serial engine.
+var FuzzSweep = harness.FuzzSweep
