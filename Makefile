@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
+.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs nifdy-lint, the domain-specific analyzer suite (DESIGN.md §7):
+# determinism (mapiter, wallclock), zero-allocation (hotalloc), two-phase
+# discipline (latchphase), and pool ownership (poolsafe) over the whole
+# module, including the stale-suppression audit.
+lint:
+	$(GO) run ./cmd/nifdy-lint
+
+# lintdiff fails if the diff against BASE (default origin/main, falling back
+# to HEAD~1) introduces //lint:allow suppressions without a reason.
+lintdiff:
+	./scripts/lintdiff.sh $(BASE)
+
 # check is the tier-1 gate (see ROADMAP.md): everything must pass before
 # a PR lands.
-check: build vet test
+check: build vet lint test
 
 # check-deep runs the deep correctness sweep: the invariant-monitor
 # acceptance matrix and mutation suite, a scaled-up randomized

@@ -1,0 +1,23 @@
+// Command nifdy-lint runs the repository's domain-specific static analyzer
+// suite: the determinism rules (mapiter, wallclock), the zero-allocation
+// rule (hotalloc), the two-phase discipline rule (latchphase), and the
+// packet-pool ownership rule (poolsafe). See internal/lint and DESIGN.md §7.
+//
+// Usage:
+//
+//	nifdy-lint                  # analyze the whole module
+//	nifdy-lint -list            # show the rule catalog
+//	nifdy-lint -rules mapiter nifdy/internal/core
+//
+// Exit codes: 0 clean, 1 findings, 2 load/type-check error.
+package main
+
+import (
+	"os"
+
+	"nifdy/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.CLI(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -108,7 +108,13 @@ func New(cfg Config, ids *packet.IDSource) *App {
 		a.sendWords[i] = m
 	}
 	for i, m := range a.sendWords {
-		for dst, words := range m {
+		// Dense index walk, not a map range: the sums are commutative, but
+		// keeping the aggregation order-deterministic costs nothing.
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			words, ok := m[dst]
+			if !ok {
+				continue
+			}
 			n := a.layer.Config().PacketsFor(words)
 			a.pktsPerIter[i] += n
 			a.expect[dst] += n
@@ -123,8 +129,8 @@ func (a *App) payload() int { return a.layer.Config().Payload() }
 func (a *App) RemoteEdges() int {
 	total := 0
 	for _, m := range a.sendWords {
-		for _, w := range m {
-			total += w
+		for dst := 0; dst < a.cfg.Nodes; dst++ {
+			total += m[dst]
 		}
 	}
 	return total

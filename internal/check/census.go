@@ -1,11 +1,26 @@
 package check
 
 import (
+	"sort"
+
 	"nifdy/internal/nic"
 	"nifdy/internal/packet"
 	"nifdy/internal/router"
 	"nifdy/internal/sim"
 )
+
+// sortedIntKeys returns m's keys in ascending order — the sanctioned way to
+// walk a map deterministically.
+//
+//lint:allow(mapiter) key-collection for sorting; the sorted result is independent of iteration order
+func sortedIntKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // whereRef names one whole-packet reference location for census messages.
 type whereRef struct {
@@ -274,8 +289,10 @@ func (c *Checker) auditNIC(now sim.Cycle, nc nic.NIC, addWhole func(nd int, wher
 	}
 	a.DialogIn = func(slot, src, expected, buffered int) {
 		dialogs++
-		for s, other := range srcBySlot {
-			if other == src {
+		// Sorted sweep so a duplicate-sender violation always names the
+		// same slot pair regardless of map iteration order.
+		for _, s := range sortedIntKeys(srcBySlot) {
+			if srcBySlot[s] == src {
 				c.report(now, MonDialogBound, nd,
 					"two dialogs (slots %d and %d) from the same sender %d", s, slot, src)
 			}

@@ -180,6 +180,7 @@ func (c *Checker) Finish(now sim.Cycle) {
 		return
 	}
 	lost := make([]sendRec, 0, len(c.inflight))
+	//lint:allow(mapiter) pointer-keyed map has no sortable key; records are collected then sorted below for deterministic reporting
 	for _, rec := range c.inflight {
 		lost = append(lost, rec)
 	}

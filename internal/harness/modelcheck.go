@@ -53,6 +53,7 @@ func ModelCheck(o ModelCheckOpts) *stats.Table {
 	return t
 }
 
+//lint:allow(mapiter) key-collection for sorting; the sorted result is independent of iteration order
 func sortedKeys(m map[int]int) []int {
 	keys := make([]int, 0, len(m))
 	for k := range m {

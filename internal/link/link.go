@@ -85,6 +85,7 @@ func (w *Wire[T]) Send(now sim.Cycle, v T) {
 
 // SendAt schedules v for arrival at cycle at (which must not precede already
 // scheduled arrivals; callers in this repository always send monotonically).
+//lint:allow(hotalloc) amortized event-list growth; Recv rewinds and compacts so steady-state sends reuse capacity
 func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
 	if w.crossFl != nil {
 		// Cross-shard: the consumer owns events/head/next during the tick
@@ -117,6 +118,7 @@ func (w *Wire[T]) SendAt(at sim.Cycle, v T) {
 // flush phase, after the tick barrier, so the consumer (which touches events
 // only while ticking) is guaranteed quiescent; the next tick phase sees the
 // merged list via the engine's phase barrier.
+//lint:allow(hotalloc) cross-shard staged merge; both slices reuse capacity after warm-up
 func (w *Wire[T]) Flush() {
 	w.stagedDirty = false
 	if len(w.staged) == 0 {

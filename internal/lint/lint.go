@@ -1,0 +1,181 @@
+// Package lint is nifdy's domain-specific static analyzer suite. It makes
+// the repository's two load-bearing contracts structural rather than
+// aspirational:
+//
+//   - Determinism: simulation results must be bit-identical across serial
+//     and sharded engines and across Go releases, so no map iteration
+//     order, wall-clock reading, or ambient randomness may leak into
+//     simulation state (rules mapiter, wallclock).
+//
+//   - Zero allocation: the saturated data path must not allocate in steady
+//     state (PR 2's ~5 B/op contract), so allocation constructs inside the
+//     Tick/Flush call trees are flagged at their source (rule hotalloc).
+//
+// Two further rules guard the engine's two-phase discipline (latchphase)
+// and the packet free-list's ownership protocol (poolsafe).
+//
+// The framework is stdlib-only (go/ast, go/parser, go/types, go/importer):
+// the module stays dependency-free. Rules register themselves in init and
+// are typically ~50 lines; see mapiter.go for the template and DESIGN.md §7
+// for the catalog and the policy on //lint:allow suppressions.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Rule is one analyzer: a named check run over a type-checked package.
+type Rule struct {
+	Name string
+	Doc  string
+	// Match reports whether the rule applies to a package path; nil means
+	// every package. The golden tests bypass Match and call Run directly.
+	Match func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Diagnostic is one finding, addressed by file:line for editors and for
+// suppression matching.
+type Diagnostic struct {
+	Rule    string
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Pass is the per-(rule, package) context handed to Rule.Run.
+type Pass struct {
+	Pkg    *Package
+	Fset   *token.FileSet
+	Loader *Loader // for cross-package traversal (hotalloc)
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// registry holds every registered rule, sorted by name.
+var registry []*Rule
+
+// Register adds r to the rule registry. It panics on duplicate or empty
+// names: rule names are part of the suppression syntax, so collisions would
+// silently change which findings an existing //lint:allow covers.
+func Register(r *Rule) {
+	if r.Name == "" || r.Run == nil {
+		panic("lint: Register with empty name or nil Run")
+	}
+	for _, old := range registry {
+		if old.Name == r.Name {
+			panic("lint: duplicate rule " + r.Name)
+		}
+	}
+	registry = append(registry, r)
+	sort.Slice(registry, func(i, j int) bool { return registry[i].Name < registry[j].Name })
+}
+
+// Rules returns the registered rules, sorted by name.
+func Rules() []*Rule {
+	out := make([]*Rule, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// RuleByName returns the named rule, or nil.
+func RuleByName(name string) *Rule {
+	for _, r := range registry {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Run executes rules over pkgs, applies suppressions, and returns the
+// surviving diagnostics sorted by position. full marks a whole-module run
+// with the complete rule set: only then are stale (unmatched) allows
+// reported, since a partial run cannot prove an allow unused.
+func Run(l *Loader, pkgs []*Package, rules []*Rule, full bool) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			if r.Match != nil && !r.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg, Fset: l.Fset, Loader: l, rule: r.Name, diags: &raw}
+			r.Run(pass)
+		}
+	}
+
+	sup := newSuppressions()
+	for _, pkg := range pkgs {
+		sup.addPackage(l.Fset, pkg)
+	}
+
+	seen := map[Diagnostic]bool{}
+	var out []Diagnostic
+	for _, d := range raw {
+		if seen[d] {
+			continue // hotalloc reaches shared callees from many roots
+		}
+		seen[d] = true
+		if sup.suppressed(d.Rule, d.File, d.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	ran := map[string]bool{}
+	for _, r := range rules {
+		ran[r.Name] = true
+	}
+	out = append(out, sup.audit(ran, full)...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// tickPathPackage reports whether a package holds simulation state swept by
+// the determinism rules: everything under internal/ except the analyzer
+// itself.
+func tickPathPackage(path string) bool {
+	const prefix = "nifdy/internal/"
+	if len(path) < len(prefix) || path[:len(prefix)] != prefix {
+		return false
+	}
+	rest := path[len(prefix):]
+	return rest != "lint" && !hasPrefix(rest, "lint/")
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

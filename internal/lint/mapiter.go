@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapiter: no ranging over maps in tick-path packages.
+//
+// Go randomizes map iteration order per run, so any map range whose body
+// can influence simulation state — ordering of emitted packets, report
+// ordering, float accumulation order, which of two candidates wins a tie —
+// silently breaks bit-identical reproduction of the paper's figures. The
+// sanctioned idioms are dense integer keys walked in order, a sorted key
+// slice, or restructuring the map as a slice. Order-independent sweeps
+// (pure deletion, commutative integer sums) that deliberately keep the map
+// form must carry an audited //lint:allow(mapiter) with the order-
+// independence argument as the reason.
+func init() {
+	Register(&Rule{
+		Name:  "mapiter",
+		Doc:   "range over a map in a tick-path package: iteration order can leak into simulation state",
+		Match: tickPathPackage,
+		Run:   runMapIter,
+	})
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(r.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(r.Pos(),
+					"range over map %s: iteration order is nondeterministic; iterate sorted keys, a dense index range, or restructure as a slice",
+					types.ExprString(r.X))
+			}
+			return true
+		})
+	}
+}

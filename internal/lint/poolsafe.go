@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolsafe: packet.Pool ownership heuristics.
+//
+// Pool.Put's contract is that the caller surrenders the last live
+// reference: no flit of the packet may remain in any link, buffer, or
+// queue, and the pointer must not be consulted afterwards — a recycled
+// packet is reset on Get, so a stale read observes another packet's life.
+// PR 4's recycle monitor catches violations at runtime when -check is on;
+// this rule catches the two statically visible shapes at review time:
+//
+//   - use-after-Put: a statement after pool.Put(p) in the same function
+//     still reads through p (field access, argument, send);
+//
+//   - unzeroed truncation: a []*packet.Packet (or any pointer-to-Packet
+//     slice) shrunk with s = s[:n] in a function that never nils out the
+//     vacated slots, leaving dead packets reachable and defeating both the
+//     pool audit and the garbage collector.
+//
+// Both are heuristics: re-assignment of the variable ends the use-after-Put
+// scan, and any s[i] = nil in the function satisfies the truncation check.
+func init() {
+	Register(&Rule{
+		Name:  "poolsafe",
+		Doc:   "packet.Pool misuse: use after Put, or packet-slice truncation without zeroing",
+		Match: tickPathPackage,
+		Run:   runPoolSafe,
+	})
+}
+
+func runPoolSafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkUseAfterPut(fd)
+			p.checkTruncation(fd)
+		}
+	}
+}
+
+// isPoolPut reports whether call is <pool>.Put(x) on a type named Pool.
+func isPoolPut(info *types.Info, call *ast.CallExpr) (arg *ast.Ident, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil, false
+	}
+	fn, fnOK := info.Uses[sel.Sel].(*types.Func)
+	if !fnOK {
+		return nil, false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil, false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, namedOK := rt.(*types.Named)
+	if !namedOK || named.Obj().Name() != "Pool" {
+		return nil, false
+	}
+	id, idOK := call.Args[0].(*ast.Ident)
+	return id, idOK
+}
+
+// checkUseAfterPut scans every block: once pool.Put(p) executes, later
+// statements in that block may not use p unless they reassign it first.
+func (p *Pass) checkUseAfterPut(fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			expr, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := expr.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := isPoolPut(info, call)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			p.scanAfterPut(block.List[i+1:], id.Name, obj)
+		}
+		return true
+	})
+}
+
+// scanAfterPut reports uses of obj in stmts, stopping at a reassignment.
+func (p *Pass) scanAfterPut(stmts []ast.Stmt, name string, obj types.Object) {
+	info := p.Pkg.Info
+	for _, stmt := range stmts {
+		reassigned := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if reassigned {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if lid, ok := lhs.(*ast.Ident); ok && info.Uses[lid] == obj {
+						reassigned = true
+					}
+					if lid, ok := lhs.(*ast.Ident); ok && info.Defs[lid] != nil && lid.Name == name {
+						reassigned = true // := shadow in a nested scope
+					}
+				}
+				// The RHS still runs with the old value: scan it first.
+				for _, rhs := range n.Rhs {
+					p.reportUses(rhs, obj)
+				}
+				return false
+			case *ast.Ident:
+				if info.Uses[n] == obj {
+					p.Reportf(n.Pos(),
+						"use of %s after Pool.Put(%s): Put surrenders the last live reference; the packet may already be recycled",
+						name, name)
+				}
+			}
+			return true
+		})
+		if reassigned {
+			return
+		}
+	}
+}
+
+// reportUses flags every use of obj inside expr.
+func (p *Pass) reportUses(expr ast.Expr, obj types.Object) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+			p.Reportf(id.Pos(),
+				"use of %s after Pool.Put(%s): Put surrenders the last live reference; the packet may already be recycled",
+				id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// isPacketPtrSlice reports whether t is a slice whose elements are (or
+// contain, one struct level deep) pointers to a type named Packet.
+func isPacketPtrSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isPacketPtr(s.Elem())
+}
+
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Packet"
+}
+
+// checkTruncation flags s = s[:n] on packet-pointer slices in functions
+// that never zero a slot of s.
+func (p *Pass) checkTruncation(fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+
+	// First pass: collect the base expressions of every s[i] = nil (or
+	// zero-composite) store in the function.
+	zeroed := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if isZeroExpr(as.Rhs[i]) {
+				zeroed[types.ExprString(idx.X)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := as.Rhs[0].(*ast.SliceExpr)
+		if !ok || sl.High == nil || sl.Low != nil {
+			return true // only s[:n] shrinks; s[i:] is a consume-from-front rewind
+		}
+		base := types.ExprString(sl.X)
+		if base != types.ExprString(as.Lhs[0]) {
+			return true
+		}
+		t := info.TypeOf(sl.X)
+		if t == nil || !isPacketPtrSlice(t) {
+			return true
+		}
+		if zeroed[base] {
+			return true
+		}
+		p.Reportf(as.Pos(),
+			"truncating packet slice %s without zeroing the vacated slots: dead packets stay reachable and defeat the pool recycle audit",
+			base)
+		return true
+	})
+}
+
+// isZeroExpr: nil or a T{} zero composite.
+func isZeroExpr(e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package latchphase is the golden-diagnostic fixture for the latchphase
+// rule: latched state written outside its own methods fires, the sanctioned
+// Push/constructor/engine machinery stays silent.
+package latchphase
+
+// queue is latch-shaped: a named struct with a Flush() method. Its fields
+// may be written only by its own methods and New* constructors.
+type queue struct {
+	buf  []int
+	pend int
+	cur  int
+}
+
+// Push and Flush are the type's own methods: sanctioned mutators.
+func (q *queue) Push(v int) { q.pend = v }
+func (q *queue) Flush()     { q.cur = q.pend }
+
+// NewQueue may initialize fields before the first engine step.
+func NewQueue(n int) *queue {
+	q := &queue{}
+	q.buf = make([]int, n)
+	return q
+}
+
+// consumer holds a latch and demonstrates every violation shape.
+type consumer struct{ q *queue }
+
+func (c *consumer) Tick(now int64) {
+	c.q.Push(int(now)) // the sanctioned API: silent
+	c.q.pend = 0       // want `direct write to latched field c\.q\.pend outside queue's methods`
+	c.q.buf[0] = 1     // want `direct write to latched field c\.q\.buf outside queue's methods`
+	c.q.pend++         // want `direct write to latched field c\.q\.pend outside queue's methods`
+	c.q.Flush()        // want `explicit Flush\(\) outside the engine`
+}
+
+// Latch mirrors sim.Latch; flushing through the interface is still an early
+// flush.
+type Latch interface{ Flush() }
+
+func drive(l Latch) {
+	l.Flush() // want `explicit Flush\(\) outside the engine`
+}
+
+// plain has no Flush method: writes to it are ordinary state.
+type plain struct{ n int }
+
+func bump(p *plain) { p.n++ }

@@ -1,0 +1,59 @@
+// Package mapiter is the golden-diagnostic fixture for the mapiter rule:
+// seeded map ranges must fire, the sanctioned idioms must stay silent.
+package mapiter
+
+import "sort"
+
+// Sum iterates a map directly: the seeded violation.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m: iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// SumField shows the violation through a struct field.
+type stats struct{ counts map[string]int }
+
+func (s *stats) total() int {
+	n := 0
+	for k := range s.counts { // want `range over map s\.counts`
+		n += len(k)
+	}
+	return n
+}
+
+// SumSorted is the sorted-keys fixed idiom: the key-collection range is an
+// audited exception, the value walk ranges a slice and stays silent.
+func SumSorted(m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	//lint:allow(mapiter) key-collection for sorting; the sorted result is independent of iteration order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// SumDense is the dense-index fixed idiom: lookups are deterministic.
+func SumDense(m map[int]int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += m[i]
+	}
+	return total
+}
+
+// Slices and channels range deterministically: silent.
+func SumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,49 @@
+// Package poolsafe is the golden-diagnostic fixture for the poolsafe rule:
+// reading a packet after surrendering it to the pool fires, as does
+// truncating a packet slice without zeroing; the sanctioned orderings stay
+// silent. It imports the real packet package so the Pool/Packet structural
+// matching is exercised against the genuine types.
+package poolsafe
+
+import "nifdy/internal/packet"
+
+type unit struct {
+	pool *packet.Pool
+	free []*packet.Packet
+	last int
+}
+
+// retire reads p after Put: the seeded use-after-free.
+func (u *unit) retire(p *packet.Packet) {
+	u.last = p.Dst
+	u.pool.Put(p)
+	u.last += p.Src // want `use of p after Pool\.Put\(p\)`
+}
+
+// retireFixed reads everything it needs before surrendering p.
+func (u *unit) retireFixed(p *packet.Packet) {
+	u.last = p.Dst + p.Src
+	u.pool.Put(p)
+}
+
+// recycle reassigns p from the pool: the surrendered reference is gone, so
+// later uses touch the fresh packet.
+func (u *unit) recycle(p *packet.Packet) int {
+	u.pool.Put(p)
+	p = u.pool.Get()
+	return p.Dst
+}
+
+// drainAll truncates the free list without zeroing the vacated slots.
+func (u *unit) drainAll() {
+	u.free = u.free[:0] // want `truncating packet slice u\.free without zeroing`
+}
+
+// drainZeroed nils the tail before truncating: dead packets stay
+// collectable and the pool recycle audit sees no phantom references.
+func (u *unit) drainZeroed(n int) {
+	for i := n; i < len(u.free); i++ {
+		u.free[i] = nil
+	}
+	u.free = u.free[:n]
+}

@@ -1,0 +1,31 @@
+// Package suppress exercises the allow-audit diagnostics: a reasonless
+// allow and a stale allow are themselves findings on a full run, while a
+// consumed, reasoned allow stays silent.
+package suppress
+
+// Sum keeps its map range deliberately; the allow below is legitimate and
+// consumed, so it must NOT be reported stale.
+func Sum(m map[int]int) int {
+	total := 0
+	//lint:allow(mapiter) commutative integer sum: iteration order cannot change the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Bare carries an allow with no reason: always reported, even though the
+// allow still suppresses the map-range finding underneath it.
+func Bare(m map[int]int) int {
+	n := 0
+	//lint:allow(mapiter)
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Stale allows a rule that finds nothing here: reported only on full runs.
+//
+//lint:allow(wallclock) stale on purpose: nothing in this function reads the clock
+func Stale() int { return 42 }

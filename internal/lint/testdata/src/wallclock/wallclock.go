@@ -1,0 +1,34 @@
+// Package wallclock is the golden-diagnostic fixture for the wallclock
+// rule: ambient host state must fire, pure time arithmetic must not.
+package wallclock
+
+import (
+	"math/rand" // want `import of math/rand: ambient randomness breaks reproducibility`
+	"os"        // the import itself is fine; Getenv below is not
+	"time"      // the import itself is fine; Now below is not
+)
+
+// Stamp reads the host clock: the seeded violation.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time\.Now reads ambient host state`
+}
+
+// Elapsed measures against the host clock: also banned.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads ambient host state`
+}
+
+// Draw uses the global math/rand generator; the import line carries the
+// finding, so this body adds none.
+func Draw() int { return rand.Int() }
+
+// Knob reads the environment: host state that silently forks behaviour.
+func Knob() string {
+	return os.Getenv("NIFDY_KNOB") // want `os\.Getenv reads ambient host state`
+}
+
+// Timeout is the fixed idiom: time.Duration arithmetic never reads the
+// clock, and deterministic seeds come from configuration, not the host.
+const Timeout = 5 * time.Second
+
+func Deadline(now int64) int64 { return now + int64(Timeout) }

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclock: no ambient nondeterminism outside cmd/.
+//
+// The paper's reproducibility rests on every random and temporal input
+// flowing through internal/rng's per-component streams: "dedicated state
+// for each pseudo-random number generator ensures that the same sequence of
+// bursts is generated regardless of network and NIFDY configuration" (§3).
+// Wall-clock reads, the global math/rand generators, crypto randomness, and
+// environment lookups all smuggle host state into a simulation. They are
+// legitimate only in cmd/ front-ends (timing a run, stamping a baseline
+// file) and in tests/benchmarks, which the loader never parses.
+func init() {
+	Register(&Rule{
+		Name: "wallclock",
+		Doc:  "ambient nondeterminism (time.Now, global math/rand, os.Getenv) outside cmd/",
+		Match: func(path string) bool {
+			// Everything but the cmd/ front-ends and the analyzer itself;
+			// the module root package is the public API and is swept too.
+			return tickPathPackage(path) || path == "nifdy"
+		},
+		Run: runWallClock,
+	})
+}
+
+// bannedImports are packages whose presence alone is a finding: every use
+// of them is ambient nondeterminism.
+var bannedImports = map[string]string{
+	"math/rand":    "use internal/rng per-node streams instead",
+	"math/rand/v2": "use internal/rng per-node streams instead",
+	"crypto/rand":  "use internal/rng per-node streams instead",
+}
+
+// bannedFuncs are individual ambient-state entry points in otherwise
+// legitimate packages (time.Duration arithmetic is fine; reading the host
+// clock is not).
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now": "", "Since": "", "Until": "", "After": "", "AfterFunc": "",
+		"Tick": "", "NewTimer": "", "NewTicker": "", "Sleep": "",
+	},
+	"os": {
+		"Getenv": "", "LookupEnv": "", "Environ": "",
+	},
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if hint, ok := bannedImports[path]; ok {
+				p.Reportf(imp.Pos(), "import of %s: ambient randomness breaks reproducibility; %s", path, hint)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if names, ok := bannedFuncs[fn.Pkg().Path()]; ok {
+				if _, banned := names[fn.Name()]; banned {
+					p.Reportf(sel.Pos(),
+						"%s.%s reads ambient host state; simulations must take time from sim.Cycle and randomness from internal/rng",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

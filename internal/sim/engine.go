@@ -140,6 +140,7 @@ type Flusher struct {
 
 // Mark schedules l for the next flush phase. Callers must mark at most once
 // per cycle per latch (Queue and Reg guarantee this with a dirty bit).
+//lint:allow(hotalloc) dirty-list growth is bounded by the shard's latch count; run() truncates in place so capacity is reused
 func (f *Flusher) Mark(l Latch) { f.dirty = append(f.dirty, l) }
 
 // run flushes and clears the dirty list.

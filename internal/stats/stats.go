@@ -118,6 +118,7 @@ func (p *Pending) Sample(now sim.Cycle) {
 	p.snapshot(now)
 }
 
+//lint:allow(hotalloc) interval sampling off the saturated path: one snapshot per Interval cycles, by design
 func (p *Pending) snapshot(now sim.Cycle) {
 	snap := make([]int, p.nodes)
 	for n := range snap {

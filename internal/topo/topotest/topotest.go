@@ -5,6 +5,7 @@
 package topotest
 
 import (
+	"sort"
 	"testing"
 
 	"nifdy/internal/packet"
@@ -113,7 +114,20 @@ func (h *Harness) CheckDrained() {
 // Meta.Index order (valid when each pair's packets were enqueued in order).
 func (h *Harness) CheckPairOrder() {
 	h.T.Helper()
-	for pair, ps := range h.ByPair {
+	// Sorted pair sweep: a reorder failure always names the same pair first.
+	pairs := make([][2]int, 0, len(h.ByPair))
+	//lint:allow(mapiter) key-collection for sorting; the sorted result is independent of iteration order
+	for pair := range h.ByPair {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pair := range pairs {
+		ps := h.ByPair[pair]
 		last := -1
 		for _, p := range ps {
 			if p.Meta.Index < last {

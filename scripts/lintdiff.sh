@@ -1,0 +1,54 @@
+#!/bin/sh
+# lintdiff.sh [base] — audit the diff against base for new unexplained lint
+# suppressions.
+#
+# A //lint:allow(rule) comment silences a nifdy-lint finding; the contract
+# (DESIGN.md §7) is that every allow carries a reason explaining why the
+# exception is sound. nifdy-lint itself flags reasonless allows anywhere in
+# the tree; this script is the review-time companion: it fails if the diff
+# being proposed ADDS an allow whose reason is missing, so a reviewer sees
+# the violation on the PR that introduces it rather than on a later full run.
+#
+# Base defaults to origin/main when that ref exists, else HEAD~1 (useful on
+# shallow CI clones and local pre-push hooks alike).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE=${1:-}
+if [ -z "$BASE" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null 2>&1; then
+        BASE=origin/main
+    else
+        BASE=HEAD~1
+    fi
+fi
+
+# Added lines only, with their file names; testdata is excluded (the lint
+# golden fixtures seed reasonless allows on purpose). The allow grammar is
+#   //lint:allow(rule[,rule...]) reason
+# so an added allow line whose text ends at the closing parenthesis (modulo
+# trailing whitespace) has no reason.
+bad=$(git diff "$BASE" --unified=0 -- '*.go' ':(exclude)*testdata*' \
+    | awk '
+        /^\+\+\+ b\// { file = substr($0, 7) }
+        /^\+/ && !/^\+\+\+/ {
+            line = substr($0, 2)
+            if (match(line, /\/\/lint:allow\([a-zA-Z0-9_,-]+\)/)) {
+                rest = substr(line, RSTART + RLENGTH)
+                gsub(/[ \t]+$/, "", rest)
+                if (rest == "") {
+                    printf "%s: %s\n", file, line
+                }
+            }
+        }
+    ')
+
+if [ -n "$bad" ]; then
+    echo "lintdiff: diff vs $BASE adds //lint:allow suppressions without a reason:" >&2
+    echo "$bad" >&2
+    echo "lintdiff: every allow must explain its exception: //lint:allow(rule) why this is sound" >&2
+    exit 1
+fi
+
+echo "lintdiff: no unexplained suppressions added vs $BASE"
