@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel baseline clean
+.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-scale baseline clean
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,13 @@ benchdiff:
 # Override the shard count with: make bench-parallel SHARDS=4
 bench-parallel:
 	./scripts/benchparallel.sh $(SHARDS)
+
+# bench-scale smoke-tests the flow engine at 100k+ nodes: two identical
+# scale runs must deliver bit-identical packet counts, and the flow fabric
+# must clear a simulated node-cycles-per-second floor (default 10M).
+# Override the floor with: make bench-scale FLOOR=50000000
+bench-scale:
+	./scripts/benchscale.sh $(FLOOR)
 
 # baseline regenerates the committed BENCH_<date>.json perf/metrics
 # baseline from the reduced-scale experiment suite.

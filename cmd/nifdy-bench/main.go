@@ -9,10 +9,17 @@
 //	nifdy-bench -exp f2 -cpuprofile cpu.prof   # profile an experiment's hot path
 //	nifdy-bench -exp f2 -memprofile mem.prof   # heap snapshot after it finishes
 //	nifdy-bench -exp f2 -shards 4        # 4 engine shards per simulation (bit-identical)
+//	nifdy-bench -exp f2 -mode flow       # Figure 2 on the flow-level twins of each fabric
+//	nifdy-bench -exp scale               # node-cycles/sec: flit baseline vs 100k-node flow run
 //	nifdy-bench -check                   # invariant-monitor fuzz sweep; exit 1 on violation
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
-// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, all.
+// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, scale, all.
+//
+// -mode selects the fabric fidelity for f2/f3: "flit" (default) is the
+// cycle-accurate reference, "flow" swaps each network for its flow-level
+// twin (same protocol layer, bandwidth-sharing fabric), and "hybrid" embeds
+// the flit fabric as the hot region of a 128-node flow bulk.
 //
 // Reduced scale (the default) keeps every experiment under roughly a minute
 // on a laptop; -full uses the paper's budgets (Figure 2/3: 1,000,000 cycles;
@@ -39,6 +46,8 @@ import (
 // against both the timing and the numbers.
 type expRecord struct {
 	Name    string            `json:"name"`
+	Mode    string            `json:"mode,omitempty"`
+	Nodes   int               `json:"nodes,omitempty"`
 	NsPerOp int64             `json:"ns_per_op"`
 	Metrics []json.RawMessage `json:"metrics,omitempty"`
 }
@@ -57,17 +66,24 @@ type benchFile struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,all)")
+		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,scale,all)")
 		full    = flag.Bool("full", false, "paper-scale budgets instead of reduced")
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
 		shards  = flag.Int("shards", 0, "engine shards per simulation for f2/f3/f4 (0 = min(GOMAXPROCS, nodes), 1 = serial; bit-identical results)")
 		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
+		mode    = flag.String("mode", "flit", "fabric fidelity for f2/f3 (flit,flow,hybrid)")
 		chk     = flag.Bool("check", false, "run the invariant-monitor fuzz sweep instead of experiments (exit 1 on any violation; -full scales it up)")
 		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
+
+	modeNets, ok := modeNetworks(*mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q (flit, flow, hybrid)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -138,6 +154,8 @@ func main() {
 			tables = append(tables, ts...)
 		}
 		var extra []json.RawMessage
+		recMode := ""
+		recorded := false
 		start := time.Now()
 		switch id {
 		case "t2":
@@ -170,12 +188,18 @@ func main() {
 				extra = append(extra, raw)
 			}
 		case "f2":
-			tbl := nifdy.Figure2(synthOpts(*full, *seed, *shards))
+			o := synthOpts(*full, *seed, *shards)
+			o.Networks = modeNets
+			recMode = *mode
+			tbl := nifdy.Figure2(o)
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
 			collect(tbl)
 		case "f3":
-			tbl := nifdy.Figure3(synthOpts(*full, *seed, *shards))
+			o := synthOpts(*full, *seed, *shards)
+			o.Networks = modeNets
+			recMode = *mode
+			tbl := nifdy.Figure3(o)
 			fmt.Println(tbl)
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
 			collect(tbl)
@@ -280,16 +304,52 @@ func main() {
 			tbl := nifdy.ModelCheck(nifdy.ModelCheckOpts{Seed: *seed})
 			fmt.Println(tbl)
 			collect(tbl)
+		case "scale":
+			// Simulation throughput across fidelities: the cycle-accurate
+			// 64-node baseline, its hybrid embedding in a 4096-node flow
+			// bulk, and the pure flow engine at 102,400 nodes. One record
+			// per row so the mode and node count are first-class in the
+			// baseline file.
+			cycles := sim20k(*full)
+			tbl := stats.NewTable("Scale: simulated node-cycles per wall second",
+				"fabric", "mode", "nodes", "cycles", "delivered", "node-cyc/s")
+			for _, cfg := range []struct {
+				mode string
+				spec nifdy.NetSpec
+			}{
+				{"flit", nifdy.Mesh2D()},
+				{"hybrid", nifdy.HybridTwin(nifdy.Mesh2D(), 4096)},
+				{"flow", nifdy.FlowMeshSized(320, 320)},
+			} {
+				res := nifdy.ScaleBench(cfg.spec, nifdy.ScaleOpts{
+					Cycles: cycles, Seed: *seed, Shards: *shards,
+				})
+				tbl.Row(res.Name, cfg.mode, res.Nodes, res.Cycles,
+					res.Delivered, res.NodeCyclesPerSec)
+				if *jsonOut != "" {
+					raw, err := json.Marshal(res)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "marshal scale/%s: %v\n", cfg.mode, err)
+						continue
+					}
+					records = append(records, expRecord{
+						Name: id, Mode: cfg.mode, Nodes: res.Nodes,
+						NsPerOp: res.WallNS, Metrics: []json.RawMessage{raw},
+					})
+				}
+			}
+			fmt.Println(tbl)
+			recorded = true
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s took %v]\n\n", id, elapsed.Round(time.Millisecond))
-		if *jsonOut == "" {
+		if *jsonOut == "" || recorded {
 			return
 		}
-		rec := expRecord{Name: id, NsPerOp: elapsed.Nanoseconds(), Metrics: extra}
+		rec := expRecord{Name: id, Mode: recMode, NsPerOp: elapsed.Nanoseconds(), Metrics: extra}
 		for _, t := range tables {
 			raw, err := t.JSON()
 			if err != nil {
@@ -334,6 +394,36 @@ func main() {
 		}
 		fmt.Printf("wrote baseline to %s (%d experiments)\n", *jsonOut, len(records))
 	}
+}
+
+// sim20k is the scale experiment's cycle budget: 20k reduced, 100k full.
+func sim20k(full bool) int64 {
+	if full {
+		return 100_000
+	}
+	return 20_000
+}
+
+// modeNetworks maps -mode to the figure networks at that fidelity.
+func modeNetworks(mode string) ([]nifdy.NetSpec, bool) {
+	base := nifdy.StandardNetworks()
+	switch mode {
+	case "", "flit":
+		return base, true
+	case "flow":
+		out := make([]nifdy.NetSpec, len(base))
+		for i, s := range base {
+			out[i] = nifdy.FlowTwin(s)
+		}
+		return out, true
+	case "hybrid":
+		out := make([]nifdy.NetSpec, len(base))
+		for i, s := range base {
+			out[i] = nifdy.HybridTwin(s, 128)
+		}
+		return out, true
+	}
+	return nil, false
 }
 
 func synthOpts(full bool, seed uint64, shards int) nifdy.SynthOpts {

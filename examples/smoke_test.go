@@ -34,3 +34,8 @@ func TestEM3D(t *testing.T) {
 func TestParamsweep(t *testing.T) {
 	runExample(t, "sweep ranking", "./examples/paramsweep", "-cycles", "2000")
 }
+
+func TestIncast100k(t *testing.T) {
+	runExample(t, "incast complete", "./examples/incast100k",
+		"-x", "64", "-y", "64", "-senders", "64")
+}

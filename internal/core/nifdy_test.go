@@ -31,7 +31,7 @@ type world struct {
 	msgSeq uint64
 }
 
-func newWorld(t *testing.T, net topo.Network, mk func(n int, ifc *router.Iface) nic.NIC) *world {
+func newWorld(t *testing.T, net topo.Network, mk func(n int, ifc router.Port) nic.NIC) *world {
 	w := &world{t: t, eng: sim.New(), net: net}
 	net.RegisterRouters(w.eng)
 	n := net.Nodes()
@@ -47,7 +47,7 @@ func newWorld(t *testing.T, net topo.Network, mk func(n int, ifc *router.Iface) 
 }
 
 func nifdyWorld(t *testing.T, net topo.Network, cfg Config) *world {
-	w := newWorld(t, net, func(n int, ifc *router.Iface) nic.NIC {
+	w := newWorld(t, net, func(n int, ifc router.Port) nic.NIC {
 		c := cfg
 		c.Node = n
 		return New(c, ifc)

@@ -1,0 +1,126 @@
+package flow
+
+import (
+	"fmt"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/topo"
+)
+
+// FromChars derives a flow Config from a flit fabric's measured
+// characteristics: the twin shares link speed (CPF), per-hop latency,
+// distances, bisection capacity, and sizes its fabric-side destination
+// queue from the flit network's per-node buffering volume. Building a flit
+// donor to take Chars from is cheap at seed sizes; the analytic
+// constructors below serve the 100k+ node range where instantiating (or
+// even all-pairs measuring) the flit network is off the table.
+func FromChars(ch topo.Characteristics, o topo.IfaceOptions) Config {
+	dstCap := ch.VolumeFlits / ch.Nodes
+	if dstCap < 16 {
+		dstCap = 16
+	}
+	return Config{
+		Name:          ch.Name + " flow",
+		Nodes:         ch.Nodes,
+		CPF:           ch.CPF,
+		HopCycles:     int(ch.HopLat + 0.5),
+		HopFlitCycles: int(ch.HopLatPerFlit + 0.5),
+		AvgHops:       ch.AvgHops,
+		MaxHops:       ch.MaxHops,
+		BisectionFPC:  ch.BisectionFPC,
+		FabricFPC:     ch.FabricFPC,
+		VolumeFlits:   ch.VolumeFlits,
+		DstCapFlits:   dstCap,
+		InOrder:       true,
+		Iface:         o,
+	}
+}
+
+// MeshConfig analytically sizes a flow fabric modeling an x-by-y wormhole
+// mesh with the repo's default link and buffer parameters (CPF 4, 1 VC, 2
+// flits per VC buffer) — closed forms replace the flit network's O(N²)
+// all-pairs hop measurement, which is what makes 100k+ node configs
+// constructible at all.
+func MeshConfig(x, y int, o topo.IfaceOptions) Config {
+	const cpf, vcs, bufFlits = 4, 1, 2
+	nodes := x * y
+	// Mean 1-D displacement over ordered distinct pairs of a line of s
+	// nodes is (s²−1)/(3s); dimensions are independent, but the pair-count
+	// normalization over distinct pairs adds the usual N/(N−1) correction.
+	avg := (meanLineDist(x) + meanLineDist(y)) * float64(nodes) / float64(nodes-1)
+	maxDim := x
+	if y > maxDim {
+		maxDim = y
+	}
+	perRouter := 2 * 2 * packet.NumClasses * vcs * bufFlits // 2 dims
+	cross := 2 * nodes / maxDim
+	internalLinks := 2 * (x*(y-1) + y*(x-1)) // one channel per direction per adjacency
+	cfg := FromChars(topo.Characteristics{
+		Name:         fmt.Sprintf("mesh[%d %d]", x, y),
+		Nodes:        nodes,
+		AvgHops:      avg,
+		MaxHops:      x + y - 2,
+		VolumeFlits:  perRouter * nodes,
+		BisectionFPC: float64(cross) / float64(cpf),
+		FabricFPC:    float64(internalLinks) / float64(cpf),
+		CPF:          cpf,
+		HopLat:       cpf + 2,
+	}, o)
+	cfg.SolveStride = strideFor(nodes)
+	return cfg
+}
+
+// strideFor picks the solver quantization for analytically sized fabrics:
+// exact at calibration sizes, stride 16 at scale, where typical drain times
+// run to thousands of cycles and the quantization error stays around a
+// percent.
+func strideFor(nodes int) int {
+	if nodes < 4096 {
+		return 1
+	}
+	return 16
+}
+
+// meanLineDist is the mean |a−b| over all ordered pairs (including a==b) of
+// a line of s nodes: (s²−1)/(3s).
+func meanLineDist(s int) float64 {
+	return (float64(s)*float64(s) - 1) / (3 * float64(s))
+}
+
+// FatTreeConfig analytically sizes a flow fabric modeling a full 4-ary fat
+// tree of the given depth (4^levels nodes, CPF 4): full bisection
+// (nodes/CPF flits per cycle) and LCA-height hop distances.
+func FatTreeConfig(levels int, o topo.IfaceOptions) Config {
+	const cpf, vcs, bufFlits = 4, 1, 8
+	nodes := 1
+	for i := 0; i < levels; i++ {
+		nodes *= 4
+	}
+	// P(lowest common ancestor at height l) over distinct pairs is
+	// (4^l − 4^(l−1))/(4^levels − 1); such a pair crosses 2l−1 routers'
+	// worth of links plus the two access links ≈ 2l hops.
+	var avg float64
+	p4 := 1.0
+	for l := 1; l <= levels; l++ {
+		p4 *= 4
+		cnt := p4 - p4/4
+		avg += cnt / float64(nodes-1) * float64(2*l)
+	}
+	// Volume: every level has nodes/4 routers with (4 children + 2 parents)
+	// ports buffering both classes.
+	perRouter := 6 * packet.NumClasses * vcs * bufFlits
+	internalLinks := 2 * nodes * (levels - 1) // nodes adjacencies per level pair, both directions
+	cfg := FromChars(topo.Characteristics{
+		Name:         fmt.Sprintf("fat tree (%d levels)", levels),
+		Nodes:        nodes,
+		AvgHops:      avg,
+		MaxHops:      2 * levels,
+		VolumeFlits:  perRouter * nodes / 4 * levels,
+		BisectionFPC: float64(nodes) / float64(cpf),
+		FabricFPC:    float64(internalLinks) / float64(cpf),
+		CPF:          cpf,
+		HopLat:       cpf + 2,
+	}, o)
+	cfg.SolveStride = strideFor(nodes)
+	return cfg
+}

@@ -1,0 +1,955 @@
+// Package flow implements the flow-level fabric: a Narses-style
+// bandwidth-sharing network model that replaces cycle-by-cycle flit
+// switching with piecewise-constant per-flow rates, re-solved only on flow
+// arrival and departure events. The NIFDY protocol layer above it stays
+// exact — packets still open dialogs, consume OPT slots, obey windows, and
+// generate acks through the same router.Port contract the flit fabrics
+// implement — only a packet's fabric traversal time comes from the flow
+// model.
+//
+// # Model
+//
+// Every in-flight packet is one flow. A flow's rate is its max-min-style
+// fair share of the three resources it occupies: the source access link
+// (capacity 1/CPF flits per cycle, shared by all flows leaving the node),
+// the destination access link (shared by all flows arriving there), and the
+// fabric bisection (shared by flows whose endpoints lie in different
+// halves). Rates are recomputed only when the flow set changes; between
+// events every flow drains linearly, so the fabric's cost is per *event*,
+// not per cycle — the property that buys orders of magnitude in simulated
+// scale (PAPERS.md: Narses).
+//
+// A flow occupies its source injection slot until its tail leaves the
+// source (drain time = size/rate), which reproduces wormhole source
+// blocking: congestion at the destination slows the flow's rate, which
+// keeps the sender's slot busy, which back-pressures the NIC — the
+// secondary-blocking tree the NIFDY protocol exists to prevent. After
+// draining, the packet rides a fixed-latency pipe (AvgHops · HopCycles)
+// and then lands in the destination's arrival buffer if it has room, or
+// parks in the destination's fabric-side queue otherwise. A destination
+// whose parked queue is full stalls: flows towards it drop to rate zero
+// until the NIC drains arrivals, exactly the end-point congestion feedback
+// the paper studies.
+//
+// # State layout and engine integration
+//
+// All per-node and per-flow state lives in flat arrays indexed by node and
+// flow id (structure of arrays, no per-component pointer chasing). The
+// fabric registers no routers; ports are written by their owning NIC's
+// shard during the tick phase and by the solver during the pre-tick step
+// hook, when no shard is ticking — the same single-writer alternation the
+// latch discipline gives flit fabrics. Cross-shard hand-off happens through
+// per-shard staging lists merged in node order, so results are
+// bit-identical for any shard count.
+package flow
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/ring"
+	"nifdy/internal/rng"
+	"nifdy/internal/router"
+	"nifdy/internal/sim"
+	"nifdy/internal/topo"
+)
+
+// rateQ is the fixed-point scale for rates (flits per cycle, Q20): integer
+// arithmetic keeps the solver bit-deterministic across shard counts.
+const rateQ = 1 << 20
+
+// Config sizes a flow-level fabric. The defaults mirror the flit fabrics'
+// link and buffer parameters; twins derived from a flit topology take them
+// from its Characteristics.
+type Config struct {
+	// Name labels the fabric ("mesh 8x8 flow").
+	Name string
+	// Nodes is the number of end points.
+	Nodes int
+	// CPF is the access-link serialization time per flit in cycles; zero
+	// selects 4 (one 32-bit flit over a 1-byte link).
+	CPF int
+	// HopCycles is the per-hop header latency in cycles; zero selects
+	// CPF+2 (serialization plus route/arbitration, the flit routers'
+	// effective per-hop pipeline).
+	HopCycles int
+	// HopFlitCycles is the extra per-hop latency per flit of packet length,
+	// in cycles — zero for wormhole/cut-through fabrics (the body streams
+	// behind the header), CPF for store-and-forward fabrics (every hop
+	// holds the whole packet). Making the pipe latency size-aware keeps
+	// short acks from paying the long-packet store-and-forward price.
+	HopFlitCycles int
+	// AvgHops is the mean router-to-router distance; the pipe latency every
+	// drained packet rides is round(AvgHops·(HopCycles +
+	// HopFlitCycles·flits)). Zero selects 1.
+	AvgHops float64
+	// MaxHops is reported in Chars.
+	MaxHops int
+	// BisectionFPC is the bisection capacity in flits per cycle shared by
+	// flows crossing the halves; zero or negative disables the constraint.
+	BisectionFPC float64
+	// FabricFPC is the aggregate internal capacity in flits per cycle over
+	// all router-to-router links. Every active flow holds AvgHops links, so
+	// the fabric sustains at most FabricFPC/AvgHops flits per cycle in
+	// total — the whole-fabric contention bound that makes mesh-like
+	// topologies saturate realistically. Zero or negative disables it.
+	FabricFPC float64
+	// DstCapFlits is the fabric-side queue per (destination, class): parked
+	// flits beyond it stall the destination (rate-zero inbound flows).
+	// Zero selects 16.
+	DstCapFlits int
+	// ArrCapFlits is the arrival (ejection) buffer per (node, class) in
+	// flits, the analog of the flit interfaces' per-VC eject depth. Zero
+	// selects the iface default (8).
+	ArrCapFlits int
+	// SolveStride quantizes solver activity in time: drain and landing
+	// events are processed on the next multiple of the stride, so the
+	// O(active-flows) advance/solve passes run at most once per stride (plus
+	// once per cycle with newly staged sends) instead of once per event
+	// cycle. Zero or one selects exact event timing — the setting every
+	// seed-size twin is calibrated at. Scaling configs use a coarse stride:
+	// the timing error is bounded by stride/drain-time, which the analytic
+	// 100k+ constructors keep around a percent, and results remain
+	// bit-deterministic for any shard count since the quantization is purely
+	// a function of configuration.
+	SolveStride int
+	// VolumeFlits is reported in Chars (informational).
+	VolumeFlits int
+	// InOrder is reported in Chars. The flow fabric delivers each
+	// (src, dst, class) stream in order by construction.
+	InOrder bool
+	// Iface carries the shared node-interface options (loss model, seed).
+	Iface topo.IfaceOptions
+}
+
+func (c *Config) defaults() {
+	if c.CPF <= 0 {
+		c.CPF = 4
+	}
+	if c.HopCycles <= 0 {
+		c.HopCycles = c.CPF + 2
+	}
+	if c.AvgHops <= 0 {
+		c.AvgHops = 1
+	}
+	if c.DstCapFlits <= 0 {
+		c.DstCapFlits = 16
+	}
+	if c.ArrCapFlits <= 0 {
+		c.ArrCapFlits = c.Iface.EffectiveBufFlits()
+	}
+	if c.SolveStride <= 0 {
+		c.SolveStride = 1
+	}
+}
+
+// stagedSend is one StartSend awaiting activation, recorded by the owning
+// shard during its tick phase.
+type stagedSend struct {
+	node int32
+	cls  uint8
+	p    *packet.Packet
+}
+
+// pipeEntry is a drained packet riding the fixed-latency pipe to its
+// destination.
+type pipeEntry struct {
+	p  *packet.Packet
+	at sim.Cycle
+}
+
+// Fabric is the flow-level network. It implements topo.Network.
+type Fabric struct {
+	cfg       Config
+	pipeLat   sim.Cycle
+	pipeFlitQ int64 // rateQ·AvgHops·HopFlitCycles, per-flit pipe term
+	linkCap   int64 // rateQ/CPF, per access link
+	bisCap    int64 // rateQ·BisectionFPC, 0 = unconstrained
+	fabCap    int64 // rateQ·FabricFPC/AvgHops, 0 = unconstrained
+
+	ports []Port
+
+	// Flow state (structure of arrays, indexed by flow id).
+	fPkt     []*packet.Packet
+	fSrc     []int32
+	fDst     []int32
+	fRem     []int64 // remaining work, flits·rateQ
+	fRate    []int64 // rateQ units (flits/cycle)
+	fDrainAt []sim.Cycle
+	fSeq     []int64
+	fIdx     []int32 // position in active (-1 when retired): O(1) removal
+	active   []int32 // dense list of live flow ids
+	freeIDs  []int32
+	// Per-destination intrusive list of inbound flows (-1 ends), for
+	// marking on destination-census and stall changes.
+	dstHead        []int32
+	fNextD, fPrevD []int32
+	// Incremental rate maintenance: rateDirty lists flows whose constraint
+	// inputs changed since the last solve (fMark dedups); a change in either
+	// global share instead forces a full pass, since it re-rates every
+	// (crossing) flow anyway. The share divisors hold inside a dead band
+	// (stride > 1 only) so census jitter around a grid point cannot force a
+	// full pass every solve. All marking happens on the stepping goroutine
+	// in event order, so the dirty set is deterministic.
+	rateDirty          []int32
+	fMark              []bool
+	crossDiv, fabDiv   int64
+	lastCross, lastFab int64
+	needFull           bool
+	// shareTab[k] is linkCap/k — the per-flow access-link share among k
+	// concurrent flows, precomputed so the solver's hot loop divides only
+	// for fan-in beyond the table.
+	shareTab [65]int64
+
+	// Per-node aggregates (solver-owned).
+	nSrc        []int32                      // active flows leaving node
+	nDst        []int32                      // active flows arriving at node
+	parked      []ring.Deque[*packet.Packet] // per (node·2+class)
+	parkedFlits []int32                      // per (node·2+class)
+
+	// One pipe per class: with size-aware pipe latency a short reply could
+	// land before an earlier long request, so a single FIFO would block it.
+	// Classes are logically (on the CM-5, physically) independent networks;
+	// per-class FIFOs keep each (src, dst, class) stream in order without
+	// cross-class head-of-line blocking.
+	pipes [packet.NumClasses]ring.Deque[pipeEntry]
+
+	// Per-shard hand-off, written by ports during their shard's tick.
+	staged  [][]stagedSend
+	dirty   [][]int32 // destinations whose arrival buffers freed space
+	shardOf []int
+
+	// clock is the solver's engine clock (RegisterStepHookClocked): asleep
+	// until nextWork, woken to now+1 by ports that stage sends or free
+	// arrival space during the tick phase.
+	clock sim.Activity
+
+	nCross   int32 // active flows crossing the bisection
+	seq      int64
+	lastRun  sim.Cycle
+	nextWork sim.Cycle
+	fabFlits int64 // flits in the fabric (active + parked + pipe)
+
+	fabInjected, fabDelivered, fabDropped int64
+
+	loss []*rng.Source // per-destination loss streams, nil when reliable
+
+	// Solver scratch (reused across runs).
+	drained  []int32
+	mergeIdx []int
+
+	bound bool
+}
+
+// New builds a flow-level fabric.
+func New(cfg Config) *Fabric {
+	cfg.defaults()
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("flow: %d nodes", cfg.Nodes))
+	}
+	f := &Fabric{
+		cfg:       cfg,
+		pipeLat:   sim.Cycle(cfg.AvgHops*float64(cfg.HopCycles) + 0.5),
+		pipeFlitQ: int64(cfg.AvgHops*float64(cfg.HopFlitCycles)*rateQ + 0.5),
+		linkCap:   rateQ / int64(cfg.CPF),
+	}
+	if f.pipeLat < 1 {
+		f.pipeLat = 1
+	}
+	if cfg.BisectionFPC > 0 {
+		f.bisCap = int64(cfg.BisectionFPC * rateQ)
+	}
+	if cfg.FabricFPC > 0 {
+		f.fabCap = int64(cfg.FabricFPC / cfg.AvgHops * rateQ)
+	}
+	n := cfg.Nodes
+	f.ports = make([]Port, n)
+	for i := range f.ports {
+		f.ports[i].init(f, int32(i))
+	}
+	f.nSrc = make([]int32, n)
+	f.nDst = make([]int32, n)
+	f.parked = make([]ring.Deque[*packet.Packet], n*packet.NumClasses)
+	f.parkedFlits = make([]int32, n*packet.NumClasses)
+	f.shardOf = make([]int, n)
+	f.staged = make([][]stagedSend, 1)
+	f.dirty = make([][]int32, 1)
+	f.nextWork = sim.Never
+	f.needFull = true
+	f.dstHead = make([]int32, n)
+	for i := range f.dstHead {
+		f.dstHead[i] = -1
+	}
+	f.shareTab[0] = f.linkCap
+	for k := 1; k < len(f.shareTab); k++ {
+		f.shareTab[k] = f.linkCap / int64(k)
+	}
+	if cfg.Iface.DropProb > 0 {
+		f.loss = make([]*rng.Source, n)
+		for i := range f.loss {
+			f.loss[i] = f.cfg.Iface.LossRNG(uint64(i))
+		}
+	}
+	return f
+}
+
+// Nodes implements topo.Network.
+func (f *Fabric) Nodes() int { return f.cfg.Nodes }
+
+// Iface implements topo.Network.
+func (f *Fabric) Iface(n int) router.Port { return &f.ports[n] }
+
+// FlowPort returns node n's concrete port (for the hybrid mux).
+func (f *Fabric) FlowPort(n int) *Port { return &f.ports[n] }
+
+// RegisterRouters implements topo.Network: the flow fabric has no routers;
+// registration installs the solver as a pre-tick step hook.
+func (f *Fabric) RegisterRouters(e *sim.Engine) {
+	f.bind(e, f.shardOf) // all-zeros shard map
+}
+
+// Partition implements topo.Network: contiguous node blocks (the solver
+// merges per-shard staging in node order, so any partition is
+// deterministic; contiguous blocks keep NIC and port co-located trivially).
+func (f *Fabric) Partition(shards int) []int {
+	return topo.AlignedPartition(f.cfg.Nodes, 1, shards)
+}
+
+// RegisterRoutersSharded implements topo.Network.
+func (f *Fabric) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	f.bind(e, shardOf)
+}
+
+func (f *Fabric) bind(e *sim.Engine, shardOf []int) {
+	if f.bound {
+		panic("flow: fabric registered twice")
+	}
+	f.bound = true
+	copy(f.shardOf, shardOf)
+	s := e.Shards()
+	f.staged = make([][]stagedSend, s)
+	f.dirty = make([][]int32, s)
+	for n := range f.ports {
+		f.ports[n].shard = int32(f.shardOf[n] % s)
+	}
+	// Clocked: the solver's clock holds nextWork (its next drain/landing
+	// event, stride-quantized), and ports wake it when they stage work, so
+	// an otherwise-quiet engine fast-forwards straight between flow events.
+	e.RegisterStepHookClocked(f.step, &f.clock)
+}
+
+// Chars implements topo.Network.
+func (f *Fabric) Chars() topo.Characteristics {
+	name := f.cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("flow[%d]", f.cfg.Nodes)
+	}
+	return topo.Characteristics{
+		Name: name, Nodes: f.cfg.Nodes,
+		AvgHops: f.cfg.AvgHops, MaxHops: f.cfg.MaxHops,
+		VolumeFlits: f.cfg.VolumeFlits, BisectionFPC: f.cfg.BisectionFPC,
+		FabricFPC: f.cfg.FabricFPC,
+		InOrder:   f.cfg.InOrder,
+		CPF:       f.cfg.CPF, HopLat: float64(f.cfg.HopCycles),
+		HopLatPerFlit: float64(f.cfg.HopFlitCycles),
+	}
+}
+
+// BufferedFlits implements topo.Network: flits held by the flow model
+// (draining, parked, or in the pipe; arrival buffers excluded, matching the
+// flit fabrics).
+func (f *Fabric) BufferedFlits() int { return int(f.fabFlits) }
+
+// AuditRouters implements topo.Network: a flow fabric has no routers.
+func (f *Fabric) AuditRouters(func(*router.Router)) {}
+
+// AuditPackets implements the check.PacketAuditor census hook: one call per
+// whole-packet reference the fabric and its ports hold, in deterministic
+// order. Labels: "flow" (draining), "parked", "pipe" (in-fabric — these
+// balance the packet counters), "staged" (pre-activation), "port-arr"
+// (arrival buffers, delivered side).
+func (f *Fabric) AuditPackets(fn func(node int, where string, p *packet.Packet)) {
+	for _, id := range f.active {
+		fn(int(f.fSrc[id]), "flow", f.fPkt[id])
+	}
+	for i := range f.parked {
+		nd := i / packet.NumClasses
+		f.parked[i].ForEach(func(p *packet.Packet) { fn(nd, "parked", p) })
+	}
+	for c := range f.pipes {
+		f.pipes[c].ForEach(func(e pipeEntry) { fn(e.p.Dst, "pipe", e.p) })
+	}
+	for s := range f.staged {
+		for _, st := range f.staged[s] {
+			fn(int(st.node), "staged", st.p)
+		}
+	}
+	for n := range f.ports {
+		pt := &f.ports[n]
+		for c := range pt.arrQ {
+			pt.arrQ[c].ForEach(func(p *packet.Packet) { fn(n, "port-arr", p) })
+		}
+	}
+}
+
+// PacketCounters implements the check.PacketAuditor books: lifetime packets
+// injected into the fabric (flows activated), delivered out of it (arrival
+// buffer enqueues), and dropped by the loss model. injected − delivered −
+// dropped must equal the census of "flow"+"parked"+"pipe" references.
+func (f *Fabric) PacketCounters() (injected, delivered, dropped int64) {
+	return f.fabInjected, f.fabDelivered, f.fabDropped
+}
+
+// anyStaged reports whether any shard staged sends or freed arrival space
+// since the last solver run.
+func (f *Fabric) anyStaged() bool {
+	for s := range f.staged {
+		if len(f.staged[s]) > 0 || len(f.dirty[s]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step is the solver: it runs as a pre-tick engine step hook, on the
+// stepping goroutine, while every shard is quiescent. The fast path — no
+// event due, nothing staged — is a few compares.
+func (f *Fabric) step(now sim.Cycle) {
+	if now < f.nextWork && !f.anyStaged() {
+		return
+	}
+	changed := false
+
+	// 1. Advance every active flow to the present (piecewise-linear drain),
+	// collecting the ones whose remainder hits zero. A flow is due exactly
+	// when this pass's advance zeroes it — rem ≤ rate·dt ⟺ drainAt ≤ now,
+	// since the bound is lastRun + ceil(rem/rate) — so no separate scan of
+	// the flow set is needed.
+	f.drained = f.drained[:0]
+	if dt := now - f.lastRun; dt > 0 {
+		for _, id := range f.active {
+			if r := f.fRate[id]; r > 0 {
+				f.fRem[id] -= r * int64(dt)
+				if f.fRem[id] <= 0 {
+					f.fRem[id] = 0
+					f.drained = append(f.drained, id)
+				}
+			}
+		}
+	}
+	f.lastRun = now
+
+	// 2. Retire drained flows (in admission order, restored by sorting the
+	// batch — f.active's iteration order is retirement-scrambled): the
+	// packet's tail has left its source — free the injection slot, credit
+	// the books, and put the packet on the fixed-latency pipe.
+	slices.SortFunc(f.drained, func(a, b int32) int {
+		sa, sb := f.fSeq[a], f.fSeq[b]
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		}
+		return 0
+	})
+	for _, id := range f.drained {
+		f.retire(now, id)
+		changed = true
+	}
+
+	// 3. Land pipe arrivals due now (per-class FIFO; within a class entries
+	// retire in admission order and — size differences aside — land in it
+	// too). A landing that parks may trip the destination's stall
+	// threshold, so it forces a rate re-solve.
+	for c := range f.pipes {
+		for f.pipes[c].Len() > 0 {
+			head, _ := f.pipes[c].Front()
+			if head.at > now {
+				break
+			}
+			e, _ := f.pipes[c].PopFront()
+			if f.land(now, e.p) {
+				changed = true
+			}
+		}
+	}
+
+	// 4. Promote parked packets at destinations whose arrival buffers freed
+	// space this tick (merged across shards in node order).
+	f.forEachMerged(f.dirty, func(nd int32) {
+		if f.promote(now, nd) {
+			changed = true
+		}
+	})
+	for s := range f.dirty {
+		f.dirty[s] = f.dirty[s][:0]
+	}
+
+	// 5. Activate staged sends (merged across shards in node order — the
+	// same global order the serial engine produces, so results are
+	// bit-identical at any shard count).
+	f.forEachStaged(func(st stagedSend) {
+		f.activate(now, st)
+		changed = true
+	})
+
+	// 6. Re-solve rates when the flow set or a stall changed, then find the
+	// next event: the model is piecewise-constant between here and there.
+	if changed {
+		f.solveRates(now)
+	}
+	f.recomputeNext()
+}
+
+// retire removes a drained flow: source slot frees, packet enters the pipe.
+func (f *Fabric) retire(now sim.Cycle, id int32) {
+	src, dst := f.fSrc[id], f.fDst[id]
+	p := f.fPkt[id]
+	pt := &f.ports[src]
+	c := p.Class
+	if pt.slots[c] == p {
+		pt.slots[c] = nil
+		pt.slotFlow[c] = -1
+		pt.injected++
+		pt.act.WakeAt(now) // the slot is free: the NIC may inject this cycle
+	}
+	f.nSrc[src]--
+	f.nDst[dst]--
+	if f.crosses(src, dst) {
+		f.nCross--
+	}
+	lat := f.pipeLat
+	if f.pipeFlitQ > 0 {
+		lat += sim.Cycle((f.pipeFlitQ*int64(p.Flits()) + rateQ/2) / rateQ)
+	}
+	f.pipes[p.Class].PushBack(pipeEntry{p: p, at: now + lat})
+	// Remove from the dense active list (swap with last; determinism is
+	// preserved because every solver pass orders its work explicitly).
+	f.removeActive(id)
+	f.fPkt[id] = nil
+	f.freeIDs = append(f.freeIDs, id)
+	// The departure frees share on both access links.
+	f.markSrc(src)
+	f.markDst(dst)
+}
+
+func (f *Fabric) removeActive(id int32) {
+	i := f.fIdx[id]
+	if i < 0 || f.active[i] != id {
+		panic("flow: retire of inactive flow")
+	}
+	last := int32(len(f.active) - 1)
+	moved := f.active[last]
+	f.active[i] = moved
+	f.fIdx[moved] = i
+	f.active = f.active[:last]
+	f.fIdx[id] = -1
+	dp, dn := f.fPrevD[id], f.fNextD[id]
+	if dp >= 0 {
+		f.fNextD[dp] = dn
+	} else {
+		f.dstHead[f.fDst[id]] = dn
+	}
+	if dn >= 0 {
+		f.fPrevD[dn] = dp
+	}
+	f.fPrevD[id], f.fNextD[id] = -1, -1
+}
+
+// markFlow queues a flow for re-rating at the next solve.
+func (f *Fabric) markFlow(id int32) {
+	if !f.fMark[id] {
+		f.fMark[id] = true
+		f.rateDirty = append(f.rateDirty, id)
+	}
+}
+
+// markSrc queues the flows leaving node src (at most one per class slot).
+func (f *Fabric) markSrc(src int32) {
+	for c := range f.ports[src].slotFlow {
+		if id := f.ports[src].slotFlow[c]; id >= 0 {
+			f.markFlow(id)
+		}
+	}
+}
+
+// markDst queues every flow inbound to dst (its census or stall state
+// changed, so each one's share is suspect).
+func (f *Fabric) markDst(dst int32) {
+	for id := f.dstHead[dst]; id >= 0; id = f.fNextD[id] {
+		f.markFlow(id)
+	}
+}
+
+// land delivers a pipe arrival into the destination's arrival buffer, or
+// parks it when the buffer is full, reporting whether it parked (parked
+// flits beyond the destination cap stall inbound flows at rate zero until
+// the NIC drains arrivals, so parking forces a re-solve).
+func (f *Fabric) land(now sim.Cycle, p *packet.Packet) bool {
+	dst := int32(p.Dst)
+	if f.loss != nil && f.loss[dst] != nil && f.loss[dst].Bool(f.cfg.Iface.DropProb) {
+		// Lossy-fabric model: the packet vanishes here, exactly where the
+		// flit interfaces drop fully arrived packets.
+		f.fabDropped++
+		f.fabFlits -= int64(p.Flits())
+		f.ports[dst].dropped++
+		return false
+	}
+	pt := &f.ports[dst]
+	size := int32(p.Flits())
+	c := p.Class
+	qi := int(dst)*packet.NumClasses + int(c)
+	if f.parked[qi].Len() == 0 && pt.arrFlits[c]+size <= int32(f.cfg.ArrCapFlits) {
+		f.deliverArr(now, pt, p)
+		return false
+	}
+	stalled := f.parkedFlits[qi] >= int32(f.cfg.DstCapFlits)
+	f.parked[qi].PushBack(p)
+	f.parkedFlits[qi] += size
+	if !stalled && f.parkedFlits[qi] >= int32(f.cfg.DstCapFlits) {
+		f.markDst(dst) // crossed the stall threshold: inbound flows drop to zero
+	}
+	return true
+}
+
+// deliverArr moves a packet into the destination port's arrival buffer and
+// wakes the NIC for this cycle's tick.
+func (f *Fabric) deliverArr(now sim.Cycle, pt *Port, p *packet.Packet) {
+	c := p.Class
+	pt.arrQ[c].PushBack(p)
+	pt.arrFlits[c] += int32(p.Flits())
+	pt.act.WakeAt(now)
+	f.fabDelivered++
+	f.fabFlits -= int64(p.Flits())
+}
+
+// promote drains a destination's parked queues into freed arrival space,
+// reporting whether a stalled destination may have unstalled.
+func (f *Fabric) promote(now sim.Cycle, nd int32) bool {
+	pt := &f.ports[nd]
+	moved := false
+	for c := 0; c < packet.NumClasses; c++ {
+		qi := int(nd)*packet.NumClasses + c
+		stalled := f.parkedFlits[qi] >= int32(f.cfg.DstCapFlits)
+		for f.parked[qi].Len() > 0 {
+			head, _ := f.parked[qi].Front()
+			size := int32(head.Flits())
+			if pt.arrFlits[c]+size > int32(f.cfg.ArrCapFlits) {
+				break
+			}
+			p, _ := f.parked[qi].PopFront()
+			f.parkedFlits[qi] -= size
+			f.deliverArr(now, pt, p)
+			moved = true
+		}
+		if stalled && f.parkedFlits[qi] < int32(f.cfg.DstCapFlits) {
+			f.markDst(nd) // stall lifted: inbound flows resume
+		}
+	}
+	return moved
+}
+
+// activate admits one staged send as a live flow.
+func (f *Fabric) activate(now sim.Cycle, st stagedSend) {
+	p := st.p
+	id := f.allocFlow()
+	src, dst := st.node, int32(p.Dst)
+	f.fPkt[id] = p
+	f.fSrc[id] = src
+	f.fDst[id] = dst
+	f.fRem[id] = int64(p.Flits()) * rateQ
+	f.fRate[id] = 0
+	f.fDrainAt[id] = sim.Never
+	f.fSeq[id] = f.seq
+	f.seq++
+	f.fIdx[id] = int32(len(f.active))
+	f.active = append(f.active, id)
+	f.fPrevD[id] = -1
+	f.fNextD[id] = f.dstHead[dst]
+	if h := f.dstHead[dst]; h >= 0 {
+		f.fPrevD[h] = id
+	}
+	f.dstHead[dst] = id
+	f.nSrc[src]++
+	f.nDst[dst]++
+	if f.crosses(src, dst) {
+		f.nCross++
+	}
+	f.ports[src].slotFlow[st.cls] = id
+	f.fabInjected++
+	f.fabFlits += int64(p.Flits())
+	// The new flow needs a rate, and the census change touches every flow
+	// sharing its source or destination link.
+	f.markSrc(src)
+	f.markDst(dst)
+}
+
+func (f *Fabric) allocFlow() int32 {
+	if n := len(f.freeIDs); n > 0 {
+		id := f.freeIDs[n-1]
+		f.freeIDs = f.freeIDs[:n-1]
+		return id
+	}
+	id := int32(len(f.fPkt))
+	f.fPkt = append(f.fPkt, nil)
+	f.fSrc = append(f.fSrc, 0)
+	f.fDst = append(f.fDst, 0)
+	f.fRem = append(f.fRem, 0)
+	f.fRate = append(f.fRate, 0)
+	f.fDrainAt = append(f.fDrainAt, 0)
+	f.fSeq = append(f.fSeq, 0)
+	f.fIdx = append(f.fIdx, -1)
+	f.fNextD = append(f.fNextD, -1)
+	f.fPrevD = append(f.fPrevD, -1)
+	f.fMark = append(f.fMark, false)
+	return id
+}
+
+// crosses reports whether a (src, dst) pair spans the bisection halves.
+func (f *Fabric) crosses(src, dst int32) bool {
+	half := int32(f.cfg.Nodes / 2)
+	return (src < half) != (dst < half)
+}
+
+// solveRates recomputes every active flow's rate — its fair share of the
+// source link, destination link, and bisection — and its drain time. A
+// destination whose parked queue exceeds the fabric-side cap is stalled:
+// flows towards it get rate zero until arrivals drain, which is the
+// end-point backpressure that grows congestion trees under plain NICs.
+func (f *Fabric) solveRates(now sim.Cycle) {
+	stride := f.cfg.SolveStride
+	var crossShare int64
+	if f.bisCap > 0 && f.nCross > 0 {
+		f.crossDiv = stableDiv(f.crossDiv, int64(f.nCross), stride)
+		crossShare = f.bisCap / f.crossDiv
+		if crossShare < 1 {
+			crossShare = 1
+		}
+	}
+	var fabShare int64
+	if f.fabCap > 0 && len(f.active) > 0 {
+		f.fabDiv = stableDiv(f.fabDiv, int64(len(f.active)), stride)
+		fabShare = f.fabCap / f.fabDiv
+		if fabShare < 1 {
+			fabShare = 1
+		}
+	}
+	// A change in either global share re-rates (nearly) every flow, so the
+	// dirty set buys nothing — take the full pass. Otherwise only the
+	// marked flows (source/destination census or stall changes) can have
+	// moved: rate is a pure function of per-flow inputs, so visiting a
+	// superset of the changed flows in any order is exact.
+	if f.needFull || crossShare != f.lastCross || fabShare != f.lastFab {
+		f.needFull = false
+		f.lastCross, f.lastFab = crossShare, fabShare
+		for _, id := range f.rateDirty {
+			f.fMark[id] = false
+		}
+		f.rateDirty = f.rateDirty[:0]
+		for _, id := range f.active {
+			f.rateOne(now, id, crossShare, fabShare, stride)
+		}
+		return
+	}
+	for _, id := range f.rateDirty {
+		f.fMark[id] = false
+		if f.fIdx[id] >= 0 { // skip ids retired after marking
+			f.rateOne(now, id, crossShare, fabShare, stride)
+		}
+	}
+	f.rateDirty = f.rateDirty[:0]
+}
+
+// rateOne recomputes one flow's rate and drain bound.
+func (f *Fabric) rateOne(now sim.Cycle, id int32, crossShare, fabShare int64, stride int) {
+	src, dst := f.fSrc[id], f.fDst[id]
+	qi := int(dst)*packet.NumClasses + int(f.fPkt[id].Class)
+	var rate int64
+	if f.parkedFlits[qi] >= int32(f.cfg.DstCapFlits) {
+		// Stalled destination: the flow holds its source slot at rate
+		// zero — the secondary-blocking analog.
+		rate = 0
+	} else {
+		rate = f.shareOf(int64(f.nSrc[src]))
+		if r := f.shareOf(coarsen(int64(f.nDst[dst]), stride)); r < rate {
+			rate = r
+		}
+		if crossShare > 0 && f.crosses(src, dst) && crossShare < rate {
+			rate = crossShare
+		}
+		if fabShare > 0 && fabShare < rate {
+			rate = fabShare
+		}
+		if rate < 1 {
+			rate = 1
+		}
+	}
+	if rate == f.fRate[id] {
+		// Unchanged rate ⇒ unchanged drain bound: the advance step consumed
+		// exactly rate·dt of the remainder since the previous solve, so
+		// now+ceil(rem/rate) equals the bound already stored (and a stalled
+		// flow keeps its Never).
+		return
+	}
+	f.fRate[id] = rate
+	if rate == 0 {
+		f.fDrainAt[id] = sim.Never
+		return
+	}
+	at := now + sim.Cycle((f.fRem[id]+rate-1)/rate)
+	if at <= now {
+		at = now + 1 // a zero-remainder flow retires on the next event
+	}
+	f.fDrainAt[id] = at
+}
+
+// shareOf is the per-flow share of one access link among n concurrent flows.
+func (f *Fabric) shareOf(n int64) int64 {
+	if n < int64(len(f.shareTab)) {
+		return f.shareTab[n]
+	}
+	return f.linkCap / n
+}
+
+// coarsen rounds a share divisor up to the next value representable in 7
+// significant bits (< 1% relative error) so fair-share rates stay
+// piecewise-constant under small churn in the flow census — without it
+// every admission and retirement re-rates every active flow and the
+// unchanged-rate fast path in solveRates never fires. Identity below 128
+// and whenever the solver runs unquantized (stride <= 1), which keeps every
+// calibration-sized configuration exact.
+func coarsen(n int64, stride int) int64 {
+	if stride <= 1 || n < 128 {
+		return n
+	}
+	mask := int64(1)<<(bits.Len64(uint64(n))-7) - 1
+	return (n + mask) &^ mask
+}
+
+// stableDiv holds a global share divisor inside a ±1/32 dead band of its
+// last value: unlike a fixed rounding grid, the band moves with the
+// divisor, so census jitter around any point — including the sawtooth of a
+// retire batch followed by the re-injections it frees — leaves the divisor,
+// and with it every fabric-limited rate, untouched until the census
+// genuinely drifts ~3%. Exact (always n) when the solver runs unquantized.
+func stableDiv(last, n int64, stride int) int64 {
+	if stride <= 1 || last <= 0 {
+		return n
+	}
+	d := n - last
+	if d < 0 {
+		d = -d
+	}
+	if d*32 <= last {
+		return last
+	}
+	return n
+}
+
+// recomputeNext finds the earliest pending event: a flow draining or a pipe
+// entry landing. With a coarse SolveStride the wake-up rounds up to the next
+// stride boundary — events in between wait for it, which is what caps the
+// solver at one full pass per stride.
+func (f *Fabric) recomputeNext() {
+	next := sim.Never
+	for c := range f.pipes {
+		if head, ok := f.pipes[c].Front(); ok && head.at < next {
+			next = head.at
+		}
+	}
+	for _, id := range f.active {
+		if at := f.fDrainAt[id]; at < next {
+			next = at
+		}
+	}
+	if s := sim.Cycle(f.cfg.SolveStride); s > 1 && next != sim.Never {
+		next = (next + s - 1) / s * s
+	}
+	f.nextWork = next
+	f.clock.Sleep(next)
+}
+
+// forEachStaged drains the per-shard staging lists merged in ascending node
+// order (each shard's list is already node-ascending because NICs tick in
+// node order within a shard), yielding the exact order a single-shard
+// engine produces.
+func (f *Fabric) forEachStaged(fn func(stagedSend)) {
+	if len(f.staged) == 1 {
+		for _, st := range f.staged[0] {
+			fn(st)
+		}
+		f.resetStaged()
+		return
+	}
+	idx := f.mergeScratch()
+	for {
+		best, bestNode := -1, int32(0)
+		for s := range f.staged {
+			if idx[s] >= len(f.staged[s]) {
+				continue
+			}
+			nd := f.staged[s][idx[s]].node
+			if best < 0 || nd < bestNode {
+				best, bestNode = s, nd
+			}
+		}
+		if best < 0 {
+			break
+		}
+		fn(f.staged[best][idx[best]])
+		idx[best]++
+	}
+	f.resetStaged()
+}
+
+func (f *Fabric) resetStaged() {
+	for s := range f.staged {
+		for i := range f.staged[s] {
+			f.staged[s][i] = stagedSend{}
+		}
+		f.staged[s] = f.staged[s][:0]
+	}
+}
+
+// forEachMerged walks per-shard int lists merged in ascending value order.
+func (f *Fabric) forEachMerged(lists [][]int32, fn func(int32)) {
+	if len(lists) == 1 {
+		for _, v := range lists[0] {
+			fn(v)
+		}
+		return
+	}
+	idx := f.mergeScratch()
+	for {
+		best := -1
+		var bestV int32
+		for s := range lists {
+			if idx[s] >= len(lists[s]) {
+				continue
+			}
+			if v := lists[s][idx[s]]; best < 0 || v < bestV {
+				best, bestV = s, v
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn(bestV)
+		idx[best]++
+	}
+}
+
+// mergeScratch returns a zeroed per-shard cursor slice.
+func (f *Fabric) mergeScratch() []int {
+	if cap(f.mergeIdx) < len(f.staged) {
+		f.mergeIdx = make([]int, len(f.staged))
+	}
+	f.mergeIdx = f.mergeIdx[:len(f.staged)]
+	for i := range f.mergeIdx {
+		f.mergeIdx[i] = 0
+	}
+	return f.mergeIdx
+}

@@ -1,0 +1,176 @@
+package flow
+
+import (
+	"fmt"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/router"
+	"nifdy/internal/sim"
+	"nifdy/internal/topo"
+)
+
+// Hybrid composes a flit-accurate sub-network over the hot region — nodes
+// [0, K) of the address space — with a flow-level fabric spanning all N
+// nodes. Traffic whose endpoints both lie in the hot region traverses the
+// cycle-accurate fabric; everything else rides the flow model. Node
+// numbering is shared, so the NIFDY protocol layer is oblivious: each hot
+// node drives one muxed port, each cold node drives its flow port directly.
+type Hybrid struct {
+	sub topo.Network
+	fab *Fabric
+	k   int
+	hot []hybridPort
+}
+
+// NewHybrid builds the seam. sub's nodes become the hot region [0,
+// sub.Nodes()); fab must span the full address space.
+func NewHybrid(sub topo.Network, fab *Fabric) *Hybrid {
+	k := sub.Nodes()
+	if k > fab.Nodes() {
+		panic(fmt.Sprintf("flow: hybrid hot region %d exceeds fabric %d", k, fab.Nodes()))
+	}
+	h := &Hybrid{sub: sub, fab: fab, k: k}
+	h.hot = make([]hybridPort, k)
+	for n := 0; n < k; n++ {
+		fp := fab.FlowPort(n)
+		h.hot[n] = hybridPort{hot: sub.Iface(n), flow: fp, k: k}
+		// Both sub-ports share one quiescence latch so either fabric's
+		// events wake the NIC.
+		fp.act = h.hot[n].hot.Activity()
+	}
+	return h
+}
+
+// Nodes implements topo.Network.
+func (h *Hybrid) Nodes() int { return h.fab.Nodes() }
+
+// Iface implements topo.Network.
+func (h *Hybrid) Iface(n int) router.Port {
+	if n < h.k {
+		return &h.hot[n]
+	}
+	return h.fab.Iface(n)
+}
+
+// RegisterRouters implements topo.Network.
+func (h *Hybrid) RegisterRouters(e *sim.Engine) {
+	h.sub.RegisterRouters(e)
+	h.fab.RegisterRouters(e)
+}
+
+// Partition implements topo.Network: the hot region keeps its topology's
+// own sharding (leaf groups, subtrees); cold nodes are split into
+// contiguous blocks.
+func (h *Hybrid) Partition(shards int) []int {
+	out := make([]int, h.fab.Nodes())
+	copy(out, h.sub.Partition(shards))
+	cold := topo.AlignedPartition(h.fab.Nodes()-h.k, 1, shards)
+	copy(out[h.k:], cold)
+	return out
+}
+
+// RegisterRoutersSharded implements topo.Network.
+func (h *Hybrid) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	h.sub.RegisterRoutersSharded(e, shardOf[:h.k])
+	h.fab.RegisterRoutersSharded(e, shardOf)
+}
+
+// Chars implements topo.Network.
+func (h *Hybrid) Chars() topo.Characteristics {
+	sc, fc := h.sub.Chars(), h.fab.Chars()
+	fc.Name = fmt.Sprintf("hybrid[%s + %s]", sc.Name, fc.Name)
+	fc.VolumeFlits += sc.VolumeFlits
+	fc.InOrder = fc.InOrder && sc.InOrder
+	return fc
+}
+
+// BufferedFlits implements topo.Network.
+func (h *Hybrid) BufferedFlits() int { return h.sub.BufferedFlits() + h.fab.BufferedFlits() }
+
+// AuditRouters implements topo.Network: the hot region's routers.
+func (h *Hybrid) AuditRouters(f func(*router.Router)) { h.sub.AuditRouters(f) }
+
+// AuditPackets delegates the flow-side census to the fabric.
+func (h *Hybrid) AuditPackets(fn func(node int, where string, p *packet.Packet)) {
+	h.fab.AuditPackets(fn)
+}
+
+// PacketCounters delegates the flow-side books to the fabric.
+func (h *Hybrid) PacketCounters() (injected, delivered, dropped int64) {
+	return h.fab.PacketCounters()
+}
+
+// hybridPort muxes a hot node's two attachments: sends to hot destinations
+// enter the flit sub-network, all others the flow fabric; deliveries drain
+// whichever side has a matching packet (flit side first).
+type hybridPort struct {
+	hot  router.Port
+	flow *Port
+	k    int
+}
+
+var _ router.Port = (*hybridPort)(nil)
+
+func (hp *hybridPort) Pump(now sim.Cycle) bool {
+	a := hp.hot.Pump(now)
+	b := hp.flow.Pump(now)
+	return a || b
+}
+
+// CanAccept is conservative: both sub-ports must have the class slot free,
+// so the protocol never has to know which fabric the next packet takes.
+func (hp *hybridPort) CanAccept(c packet.Class) bool {
+	return hp.hot.CanAccept(c) && hp.flow.CanAccept(c)
+}
+
+func (hp *hybridPort) StartSend(now sim.Cycle, p *packet.Packet) {
+	if p.Dst < hp.k {
+		hp.hot.StartSend(now, p)
+		return
+	}
+	hp.flow.StartSend(now, p)
+}
+
+func (hp *hybridPort) Sending(c packet.Class) *packet.Packet {
+	if p := hp.hot.Sending(c); p != nil {
+		return p
+	}
+	return hp.flow.Sending(c)
+}
+
+func (hp *hybridPort) Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.Packet, bool) {
+	if p, ok := hp.hot.Deliver(now, pred); ok {
+		return p, ok
+	}
+	return hp.flow.Deliver(now, pred)
+}
+
+func (hp *hybridPort) PendingFlits() int {
+	return hp.hot.PendingFlits() + hp.flow.PendingFlits()
+}
+
+func (hp *hybridPort) Quiet() bool { return hp.hot.Quiet() && hp.flow.Quiet() }
+
+func (hp *hybridPort) Activity() *sim.Activity { return hp.hot.Activity() }
+
+func (hp *hybridPort) NextArrivalAt() sim.Cycle {
+	a, b := hp.hot.NextArrivalAt(), hp.flow.NextArrivalAt()
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func (hp *hybridPort) BlockedBound(now sim.Cycle) sim.Cycle {
+	a, b := hp.hot.BlockedBound(now), hp.flow.BlockedBound(now)
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func (hp *hybridPort) Stats() (injected, delivered, dropped int64) {
+	i1, d1, x1 := hp.hot.Stats()
+	i2, d2, x2 := hp.flow.Stats()
+	return i1 + i2, d1 + d2, x1 + x2
+}

@@ -140,7 +140,7 @@ func Build(opts BuildOpts) *Sim {
 	if opts.PendingInterval > 0 {
 		// Sampled as a step hook (pre-tick, on the stepping goroutine): the
 		// same between-cycles instant for every shard count.
-		s.Eng.RegisterStepHook(s.Pending.Sample)
+		s.Eng.RegisterStepHookClocked(s.Pending.Sample, s.Pending.Clock())
 	}
 	params := opts.Params
 	if isZeroParams(params) {

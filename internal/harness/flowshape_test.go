@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"testing"
+
+	"nifdy/internal/traffic"
+)
+
+// ratioBand bounds flow/flit delivered-packet ratios for one network.
+type ratioBand struct{ lo, hi float64 }
+
+// TestFlowShape is the cross-fidelity gate for the flow-level fabric: every
+// standard network's flow twin must reproduce the cycle-accurate engine's
+// Figure 2 (heavy) and Figure 3 (light) delivered counts point for point,
+// within per-network tolerance bands, across all three NIC kinds.
+//
+// The bands encode the fluid model's calibrated fidelity envelope. Under
+// light load the fabric is latency-dominated and the twin tracks the flit
+// engine closely everywhere. Under heavy load the twin is exact where
+// capacity is the binding resource (fat trees, butterflies, store-and-
+// forward) but optimistic where wormhole head-of-line blocking dominates —
+// a blocked packet's body strands buffer and link capacity along its whole
+// path, which no per-flow rate model represents. That optimism is bounded
+// and topology-dependent (torus ≤ ~1.4×, 8x8 mesh ≤ ~1.5×, CM-5's thin
+// upper levels ≤ ~2.6×); the bands pin it so a regression in either engine
+// moves a ratio out of its band. Head-of-line loss is also exactly the
+// effect NIFDY suppresses, which is why the hybrid seam exists: regions
+// whose congestion matters stay flit-accurate (see DESIGN.md §8).
+func TestFlowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-fidelity sweep is slow")
+	}
+	const cycles = 60_000
+	const seed = 1995
+	kinds := []NICKind{Plain, BuffersOnly, NIFDY}
+	kindName := []string{"plain", "buffers", "nifdy"}
+	heavyBands := map[string]ratioBand{
+		"torus 8x8":       {0.90, 1.55},
+		"mesh 8x8":        {0.90, 1.75},
+		"fat tree (CM-5)": {0.90, 2.90},
+	}
+	defaultHeavy := ratioBand{0.90, 1.30}
+	lightBand := ratioBand{0.80, 1.35}
+
+	for _, spec := range StandardNetworks() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			mkHeavy := func() traffic.Config {
+				c := traffic.Heavy(64, seed)
+				c.Phases = 1 << 20
+				return c
+			}
+			mkLight := func() traffic.Config {
+				c := traffic.Light(64, seed)
+				c.Phases = 1 << 20
+				return c
+			}
+			twin := FlowTwin(spec)
+			flitHeavy := synthRow(spec, kinds, mkHeavy, cycles, seed, 0)
+			flowHeavy := synthRow(twin, kinds, mkHeavy, cycles, seed, 0)
+			flitLight := synthRow(spec, kinds, mkLight, cycles, seed, 0)
+			flowLight := synthRow(twin, kinds, mkLight, cycles, seed, 0)
+			t.Logf("heavy flit=%v flow=%v", flitHeavy, flowHeavy)
+			t.Logf("light flit=%v flow=%v", flitLight, flowLight)
+
+			hb, ok := heavyBands[spec.Name]
+			if !ok {
+				hb = defaultHeavy
+			}
+			check := func(load string, b ratioBand, flit, flow []int64) {
+				for i := range kinds {
+					if flit[i] == 0 || flow[i] == 0 {
+						t.Errorf("%s %s: vacuous point (flit=%d flow=%d)",
+							load, kindName[i], flit[i], flow[i])
+						continue
+					}
+					r := float64(flow[i]) / float64(flit[i])
+					if r < b.lo || r > b.hi {
+						t.Errorf("%s %s: flow/flit ratio %.3f outside [%.2f, %.2f] (flit=%d flow=%d)",
+							load, kindName[i], r, b.lo, b.hi, flit[i], flow[i])
+					}
+				}
+			}
+			check("heavy", hb, flitHeavy, flowHeavy)
+			check("light", lightBand, flitLight, flowLight)
+
+			// The paper's Figure 2 ordering must survive the change of
+			// fidelity: on the flow twin NIFDY may not lose to the plain NIC
+			// and must stay within a hair of buffers-only, same claims the
+			// flit engine is held to in papershape_test.go (the fluid model
+			// compresses the gaps — it under-represents the blocking NIFDY
+			// prevents — but may not inverts the order).
+			plain, buffers, nifdy := flowHeavy[0], flowHeavy[1], flowHeavy[2]
+			if float64(nifdy) < 0.95*float64(plain) {
+				t.Errorf("flow twin heavy: NIFDY %d below plain %d", nifdy, plain)
+			}
+			if float64(nifdy) < 0.94*float64(buffers) {
+				t.Errorf("flow twin heavy: NIFDY %d far below buffers-only %d", nifdy, buffers)
+			}
+		})
+	}
+}

@@ -256,6 +256,7 @@ func TestTickPathPackage(t *testing.T) {
 	}{
 		{"nifdy/internal/core", true},
 		{"nifdy/internal/sim", true},
+		{"nifdy/internal/flow", true}, // the flow engine's solve path is swept too
 		{"nifdy/internal/linttest/mapiter", true}, // golden fixtures are swept
 		{"nifdy/internal/lint", false},            // the analyzer itself is not
 		{"nifdy/internal/lint/sub", false},

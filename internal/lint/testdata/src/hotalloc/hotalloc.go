@@ -80,5 +80,16 @@ func (w *Wire) Flush() {
 	w.staged = w.staged[:0]
 }
 
+// Solver mirrors the flow fabric's step: collecting drained flows into a
+// fresh slice every pass allocates on the hot path (the real engine reuses
+// one scratch slice, truncated in place).
+type Solver struct{ drained []int32 }
+
+func (s *Solver) Tick(now Cycle) {
+	s.drained = make([]int32, 0, 4) // want `make in hot-path function`
+	s.drained = s.drained[:0]
+	_ = now
+}
+
 // cold is never reached from a Tick/Flush root: allocating here is fine.
 func cold() []int { return make([]int, 8) }

@@ -41,6 +41,20 @@ func drive(l Latch) {
 	l.Flush() // want `explicit Flush\(\) outside the engine`
 }
 
+// port is latch-shaped like the flow fabric's arrival queues: the solver
+// must hand arrivals over through the type's own methods, not poke the
+// latched buffer from outside.
+type port struct{ arr int }
+
+func (p *port) Enqueue(v int) { p.arr = v }
+func (p *port) Flush()        {}
+
+type solver struct{ pt *port }
+
+func (s *solver) Tick(now int64) {
+	s.pt.arr = int(now) // want `direct write to latched field s\.pt\.arr outside port's methods`
+}
+
 // plain has no Flush method: writes to it are ordinary state.
 type plain struct{ n int }
 

@@ -49,6 +49,17 @@ func SumDense(m map[int]int, n int) int {
 	return total
 }
 
+// fabric mirrors the flow engine's rate pass: keying active flows by a map
+// instead of a dense slice makes the solve order — and therefore every
+// drain timestamp — nondeterministic.
+type fabric struct{ rates map[int32]int64 }
+
+func (f *fabric) solveRates(share int64) {
+	for id := range f.rates { // want `range over map f\.rates`
+		f.rates[id] = share
+	}
+}
+
 // Slices and channels range deterministically: silent.
 func SumSlice(xs []int) int {
 	total := 0

@@ -34,6 +34,13 @@ func (u *unit) recycle(p *packet.Packet) int {
 	return p.Dst
 }
 
+// land mirrors the flow fabric's arrival path: the destination census must
+// read the packet's class before surrendering it to the pool, not after.
+func (u *unit) land(p *packet.Packet) {
+	u.pool.Put(p)
+	u.last = int(p.Class) // want `use of p after Pool\.Put\(p\)`
+}
+
 // drainAll truncates the free list without zeroing the vacated slots.
 func (u *unit) drainAll() {
 	u.free = u.free[:0] // want `truncating packet slice u\.free without zeroing`

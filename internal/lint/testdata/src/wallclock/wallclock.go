@@ -27,6 +27,12 @@ func Knob() string {
 	return os.Getenv("NIFDY_KNOB") // want `os\.Getenv reads ambient host state`
 }
 
+// SolveStamp stamps a flow-solver pass with the host clock: drain bounds
+// must come from the simulated clock, never the wall.
+func SolveStamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads ambient host state`
+}
+
 // Timeout is the fixed idiom: time.Duration arithmetic never reads the
 // clock, and deterministic seeds come from configuration, not the host.
 const Timeout = 5 * time.Second

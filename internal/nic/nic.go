@@ -151,7 +151,7 @@ type BasicConfig struct {
 // side, per §3) it models the "buffers only" baseline.
 type Basic struct {
 	cfg     BasicConfig
-	iface   *router.Iface
+	iface   router.Port
 	out     ring.Deque[*packet.Packet]
 	arr     ring.Deque[*packet.Packet]
 	pool    packet.Pool
@@ -160,7 +160,7 @@ type Basic struct {
 }
 
 // NewBasic returns a Basic NIC attached to iface.
-func NewBasic(cfg BasicConfig, iface *router.Iface) *Basic {
+func NewBasic(cfg BasicConfig, iface router.Port) *Basic {
 	if cfg.OutBuf < 1 {
 		cfg.OutBuf = 1
 	}

@@ -1,0 +1,46 @@
+package router
+
+import (
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+)
+
+// Port is the boundary a NIC drives: the fabric-facing side of a node's
+// network attachment. The flit-accurate fabrics implement it with *Iface
+// (serialization slots, ejection VC buffers, credits); the flow-level fabric
+// in internal/flow implements it packet-natively (whole packets enter and
+// leave the bandwidth-sharing model, with serialization modeled as time
+// arithmetic). The NIC protocol layer — admission control, OPT, dialogs,
+// windows, acks — is written against this interface only, so it runs exactly
+// the same state machine over either fidelity.
+//
+// The contract mirrors Iface's:
+//
+//   - Pump drains fabric-side work (credits, arrivals, pending hand-offs)
+//     and reports whether any state changed; NICs call it first each Tick.
+//   - CanAccept/StartSend inject one whole packet per class at a time;
+//     StartSend panics if the class slot is busy.
+//   - Deliver pops the next fully arrived packet satisfying pred (nil
+//     accepts anything); unpulled packets keep exerting backpressure into
+//     the fabric.
+//   - Activity is the quiescence latch shared by the port and its NIC; the
+//     fabric wakes it on arrivals, credit/space returns, and hand-offs.
+//   - NextArrivalAt/BlockedBound are the sleep bounds a stuck or quiescent
+//     NIC may park until; the fabric re-arms the Activity for any event
+//     that lands earlier.
+type Port interface {
+	Pump(now sim.Cycle) bool
+	CanAccept(c packet.Class) bool
+	StartSend(now sim.Cycle, p *packet.Packet)
+	Sending(c packet.Class) *packet.Packet
+	Deliver(now sim.Cycle, pred func(*packet.Packet) bool) (*packet.Packet, bool)
+	PendingFlits() int
+	Quiet() bool
+	Activity() *sim.Activity
+	NextArrivalAt() sim.Cycle
+	BlockedBound(now sim.Cycle) sim.Cycle
+	Stats() (injected, delivered, dropped int64)
+}
+
+// Iface is the flit-accurate Port implementation.
+var _ Port = (*Iface)(nil)

@@ -161,6 +161,12 @@ type shard struct {
 	flusher  Flusher
 	deferred []func(now Cycle) // staged by this shard's Ticks, drained at the barrier
 
+	// Fast-forward bookkeeping, written by the shard's own tick phase and
+	// read by the stepping goroutine after the flush barrier: whether any
+	// Tick ran this cycle, and the earliest wake among the skipped tickers.
+	ticked   bool
+	idleWake Cycle
+
 	start chan Cycle    // releases the worker into a tick phase
 	gate  chan struct{} // releases the worker into the flush phase
 }
@@ -177,12 +183,14 @@ type Engine struct {
 	now    Cycle
 	shards []shard
 
-	parallel  bool
-	skip      bool
-	latchRR   int
-	phase     chan struct{} // workers report phase completion here
-	closed    bool
-	stepHooks []func(now Cycle)
+	parallel   bool
+	skip       bool
+	latchRR    int
+	phase      chan struct{} // workers report phase completion here
+	closed     bool
+	stepHooks  []func(now Cycle)
+	hookClocks []*Activity // parallel to stepHooks; a nil entry disables fast-forward
+	ffEnd      Cycle       // exclusive fast-forward bound, set by Run/RunUntil
 }
 
 // New returns an Engine with a single shard, executing serially, with
@@ -252,6 +260,20 @@ func (e *Engine) RegisterSharded(sh int, t Ticker) {
 // state; they exist for whole-simulation sampling (e.g. stats.Pending).
 func (e *Engine) RegisterStepHook(f func(now Cycle)) {
 	e.stepHooks = append(e.stepHooks, f)
+	e.hookClocks = append(e.hookClocks, nil)
+}
+
+// RegisterStepHookClocked is RegisterStepHook for hooks that participate in
+// cycle fast-forwarding: a is the hook's clock, holding the next cycle at
+// which the hook needs to run (the hook maintains it like a Ticker's
+// Activity — Sleep forward from inside the hook, WakeAt from producers).
+// When every ticker in every shard is asleep and every registered hook has a
+// clock, the engine jumps Now directly to the earliest wake instead of
+// stepping provably no-op cycles one by one; a hook registered through plain
+// RegisterStepHook pins the engine to cycle-by-cycle stepping.
+func (e *Engine) RegisterStepHookClocked(f func(now Cycle), a *Activity) {
+	e.stepHooks = append(e.stepHooks, f)
+	e.hookClocks = append(e.hookClocks, a)
 }
 
 // AtBarrier stages f to run at the tick/flush boundary of the current cycle,
@@ -322,13 +344,24 @@ func (e *Engine) worker(s *shard) {
 
 func (e *Engine) tickShard(s *shard, now Cycle) {
 	if e.skip {
+		ticked := false
+		idle := Never
 		for i, t := range s.tickers {
-			if a := s.acts[i]; a == nil || a.wakeAt.Load() <= now {
-				t.Tick(now)
+			if a := s.acts[i]; a != nil {
+				if w := Cycle(a.wakeAt.Load()); w > now {
+					if w < idle {
+						idle = w
+					}
+					continue
+				}
 			}
+			t.Tick(now)
+			ticked = true
 		}
+		s.ticked, s.idleWake = ticked, idle
 		return
 	}
+	s.ticked = len(s.tickers) > 0
 	for _, t := range s.tickers {
 		t.Tick(now)
 	}
@@ -373,6 +406,40 @@ func (e *Engine) Step() {
 		e.flushShard(s)
 	}
 	e.now++
+	if e.skip && e.ffEnd > e.now {
+		e.fastForward()
+	}
+}
+
+// fastForward jumps Now past provably no-op cycles: if no Tick ran this
+// cycle, every remaining component is asleep (wires wake their observer at
+// the event's arrival cycle, so in-flight traffic keeps its receiver's wake
+// time honest), flushes are empty, and the only thing the skipped cycles
+// could do is run step hooks — which the hook clocks bound. Jumping to the
+// earliest wake therefore produces the bit-identical state the skipped
+// steps would have. Bounded by ffEnd so Run(n) still stops on its cycle.
+func (e *Engine) fastForward() {
+	min := e.ffEnd
+	for i := range e.shards {
+		s := &e.shards[i]
+		if s.ticked {
+			return
+		}
+		if s.idleWake < min {
+			min = s.idleWake
+		}
+	}
+	for _, a := range e.hookClocks {
+		if a == nil {
+			return
+		}
+		if w := Cycle(a.wakeAt.Load()); w < min {
+			min = w
+		}
+	}
+	if min > e.now {
+		e.now = min
+	}
 }
 
 // Close parks the engine's persistent workers. The engine must not be
@@ -391,22 +458,33 @@ func (e *Engine) Close() {
 	}
 }
 
-// Run executes n cycles.
+// Run executes n cycles. Quiescent spans inside the budget may be
+// fast-forwarded (see fastForward); the engine still stops exactly at the
+// budget's end.
 func (e *Engine) Run(n Cycle) {
-	for i := Cycle(0); i < n; i++ {
+	end := e.now + n
+	e.ffEnd = end
+	for e.now < end {
 		e.Step()
 	}
+	e.ffEnd = 0
 }
 
 // RunUntil steps until done() reports true or max cycles have elapsed since
 // the call. It returns true if done() became true. done is evaluated between
-// cycles, so all components agree on the state it observed.
+// cycles, so all components agree on the state it observed; fast-forwarded
+// cycles are state-preserving no-ops, so skipping their done() evaluations
+// cannot change the answer.
 func (e *Engine) RunUntil(done func() bool, max Cycle) bool {
-	for i := Cycle(0); i < max; i++ {
+	end := e.now + max
+	e.ffEnd = end
+	for e.now < end {
 		if done() {
+			e.ffEnd = 0
 			return true
 		}
 		e.Step()
 	}
+	e.ffEnd = 0
 	return done()
 }

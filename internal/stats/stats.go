@@ -108,15 +108,27 @@ func (p *Pending) Tick(now sim.Cycle) {
 }
 
 // Sample records a snapshot when now is an interval boundary. Install it
-// with Engine.RegisterStepHook on multi-shard engines: it then runs on the
-// stepping goroutine before any shard ticks, summing the per-shard rows at
-// the same pre-tick instant the registered-Ticker form samples at.
+// with Engine.RegisterStepHookClocked(p.Sample, p.Clock()) on multi-shard
+// engines: it then runs on the stepping goroutine before any shard ticks,
+// summing the per-shard rows at the same pre-tick instant the
+// registered-Ticker form samples at. It keeps the clock pointed at the next
+// boundary so the engine may fast-forward quiescent spans between samples.
 func (p *Pending) Sample(now sim.Cycle) {
-	if p.interval <= 0 || now%p.interval != 0 {
+	if p.interval <= 0 {
+		p.act.Sleep(sim.Never)
+		return
+	}
+	if now%p.interval != 0 {
+		p.act.Sleep(now - now%p.interval + p.interval)
 		return
 	}
 	p.snapshot(now)
+	p.act.Sleep(now + p.interval)
 }
+
+// Clock is the sampler's next-boundary activity, for
+// Engine.RegisterStepHookClocked.
+func (p *Pending) Clock() *sim.Activity { return &p.act }
 
 //lint:allow(hotalloc) interval sampling off the saturated path: one snapshot per Interval cycles, by design
 func (p *Pending) snapshot(now sim.Cycle) {

@@ -187,7 +187,7 @@ func (f *Fly) route(stage int, p *packet.Packet, sc []router.Choice) []router.Ch
 func (f *Fly) Nodes() int { return f.nodes }
 
 // Iface implements topo.Network.
-func (f *Fly) Iface(n int) *router.Iface { return f.ifaces[n] }
+func (f *Fly) Iface(n int) router.Port { return f.ifaces[n] }
 
 // RegisterRouters implements topo.Network.
 func (f *Fly) RegisterRouters(e *sim.Engine) {
@@ -267,5 +267,14 @@ func (f *Fly) Chars() topo.Characteristics {
 	// ways.
 	cross := f.perStage * f.cfg.Radix * f.cfg.Dilation // = total stage0->1 links; half cross each way, so total crossing = half * 2 = same
 	c.BisectionFPC = float64(cross) / float64(f.cfg.CPF)
+	internal := 0
+	for _, ed := range f.edges {
+		if ed.From >= 0 && ed.To >= 0 {
+			internal++
+		}
+	}
+	c.FabricFPC = float64(internal) / float64(f.cfg.CPF)
+	c.CPF = f.cfg.CPF
+	c.HopLat = float64(f.cfg.CPF + 2) // header serialization + route/arbitrate
 	return c
 }

@@ -307,7 +307,7 @@ func (t *Tree) nodeDigit(n, i int) int {
 func (t *Tree) Nodes() int { return t.nodes }
 
 // Iface implements topo.Network.
-func (t *Tree) Iface(n int) *router.Iface { return t.ifaces[n] }
+func (t *Tree) Iface(n int) router.Port { return t.ifaces[n] }
 
 // RegisterRouters implements topo.Network.
 func (t *Tree) RegisterRouters(e *sim.Engine) {
@@ -430,6 +430,23 @@ func (t *Tree) Chars() topo.Characteristics {
 	c.BisectionFPC = rootLinks * perChan * float64(t.classes) / 2
 	if t.cfg.Variant == CM5 {
 		c.Name = "fat tree (CM-5)"
+	}
+	internal := 0
+	for _, ed := range t.edges {
+		if ed.From >= 0 && ed.To >= 0 {
+			internal++
+		}
+	}
+	c.FabricFPC = float64(internal) / float64(t.cpf)
+	c.CPF = t.cpf
+	c.HopLat = float64(t.cpf + 2) // header serialization + route/arbitrate
+	if t.cfg.Variant == StoreForward {
+		// A store-and-forward hop holds the whole packet before advancing:
+		// the per-hop cost scales with packet length, so report it as a
+		// per-flit term (plus route/arbitrate) rather than baking in one
+		// packet size.
+		c.HopLat = 2
+		c.HopLatPerFlit = float64(t.cpf)
 	}
 	return c
 }

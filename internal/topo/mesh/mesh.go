@@ -236,7 +236,7 @@ func (m *Mesh) routeWestFirst(at int, p *packet.Packet, s []router.Choice) []rou
 func (m *Mesh) Nodes() int { return m.nodes }
 
 // Iface implements topo.Network.
-func (m *Mesh) Iface(n int) *router.Iface { return m.ifaces[n] }
+func (m *Mesh) Iface(n int) router.Port { return m.ifaces[n] }
 
 // RegisterRouters implements topo.Network.
 func (m *Mesh) RegisterRouters(e *sim.Engine) {
@@ -336,5 +336,8 @@ func (m *Mesh) Chars() topo.Characteristics {
 		cross *= 2
 	}
 	c.BisectionFPC = float64(cross) / float64(m.cfg.CPF)
+	c.FabricFPC = float64(len(m.edges)) / float64(m.cfg.CPF)
+	c.CPF = m.cfg.CPF
+	c.HopLat = float64(m.cfg.CPF + 2) // header serialization + route/arbitrate
 	return c
 }

@@ -217,7 +217,7 @@ func TestLossyMeshDropsSome(t *testing.T) {
 		now := h.Eng.Now()
 		for nd := 0; nd < 16; nd++ {
 			ifc := m.Iface(nd)
-			ifc.Tick(now)
+			ifc.Pump(now)
 			for {
 				if _, ok := ifc.Deliver(now, nil); !ok {
 					break

@@ -31,9 +31,26 @@ type Characteristics struct {
 	// BisectionFPC is the bisection bandwidth in flits per cycle, counting
 	// unidirectional links crossing the worst-case even cut.
 	BisectionFPC float64
+	// FabricFPC is the aggregate internal capacity in flits per cycle,
+	// summed over all router-to-router channels (access links excluded). A
+	// uniform flow consuming AvgHops links can sustain at most
+	// FabricFPC/AvgHops flits per cycle fabric-wide — the whole-fabric
+	// contention bound the flow-level model shares capacity against.
+	FabricFPC float64
 	// InOrder reports whether the fabric is single-path deterministic and
 	// therefore delivers packets between any pair in order by construction.
 	InOrder bool
+	// CPF is the access-link serialization time in cycles per flit.
+	CPF int
+	// HopLat is the estimated per-hop latency in cycles of a packet header
+	// under zero load (serialization plus route/arbitration). The
+	// flow-level twin of a fabric uses CPF and HopLat to size its rate and
+	// pipe models.
+	HopLat float64
+	// HopLatPerFlit is the extra per-hop latency per flit of packet length:
+	// zero for wormhole/cut-through fabrics, CPF for store-and-forward
+	// fabrics, whose per-hop cost grows with packet size.
+	HopLatPerFlit float64
 }
 
 func (c Characteristics) String() string {
@@ -42,12 +59,13 @@ func (c Characteristics) String() string {
 }
 
 // Network is a fabric with one interface port per node. Routers tick under
-// the engine; Ifaces are ticked by the NIC that owns them.
+// the engine; ports are pumped by the NIC that owns them.
 type Network interface {
 	// Nodes reports the number of end points.
 	Nodes() int
-	// Iface returns node n's interface port.
-	Iface(n int) *router.Iface
+	// Iface returns node n's interface port. Flit-accurate fabrics return a
+	// *router.Iface; the flow-level fabric returns its packet-native port.
+	Iface(n int) router.Port
 	// RegisterRouters registers the fabric's routers with the engine
 	// (all in shard 0; equivalent to RegisterRoutersSharded with a
 	// single-shard partition).

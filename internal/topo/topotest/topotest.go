@@ -15,7 +15,11 @@ import (
 )
 
 // Harness drives a Network with simple open-loop node pumps (no NIC, no
-// protocol) for substrate-level testing.
+// protocol) for substrate-level testing. The pump is a registered Ticker
+// with no Activity, so it runs every cycle and pins the engine to
+// cycle-by-cycle stepping — the harness must never be skipped over by the
+// engine's quiescence fast-forward, since its sends are invisible to the
+// components' wake bookkeeping until injected.
 type Harness struct {
 	T   *testing.T
 	Net topo.Network
@@ -23,16 +27,54 @@ type Harness struct {
 
 	ids      packet.IDSource
 	queues   [][]*packet.Packet // outgoing per node
+	next     []int              // per-node cursor into queues
+	driving  bool               // pump injects/collects only while Run is active
 	received []*packet.Packet
 	ByPair   map[[2]int][]*packet.Packet
 }
 
-// NewHarness registers the network's routers and returns a harness.
+// NewHarness registers the network's routers and the harness's own pump
+// ticker (after the routers, like a NIC) and returns a harness.
 func NewHarness(t *testing.T, net topo.Network) *Harness {
 	h := &Harness{T: t, Net: net, Eng: sim.New(), ByPair: map[[2]int][]*packet.Packet{}}
 	h.queues = make([][]*packet.Packet, net.Nodes())
+	h.next = make([]int, net.Nodes())
 	net.RegisterRouters(h.Eng)
+	h.Eng.Register(sim.TickFunc(h.pump))
 	return h
+}
+
+// pump is the per-cycle node driver: inject the next queued packet when the
+// interface can accept it, and collect deliveries. Outside Run it is a
+// no-op, so tests that step the engine by hand (e.g. lossy-fabric counts)
+// keep sole control of their interfaces; its mere registration still pins
+// the engine to cycle-by-cycle stepping.
+func (h *Harness) pump(now sim.Cycle) {
+	if !h.driving {
+		return
+	}
+	for n := 0; n < h.Net.Nodes(); n++ {
+		ifc := h.Net.Iface(n)
+		ifc.Pump(now)
+		if h.next[n] < len(h.queues[n]) {
+			p := h.queues[n][h.next[n]]
+			if ifc.CanAccept(p.Class) {
+				ifc.StartSend(now, p)
+				h.next[n]++
+			}
+		}
+		for {
+			p, got := ifc.Deliver(now, nil)
+			if !got {
+				break
+			}
+			if p.Dst != n {
+				h.T.Errorf("packet %v delivered to node %d", p, n)
+			}
+			h.received = append(h.received, p)
+			h.ByPair[[2]int{p.Src, p.Dst}] = append(h.ByPair[[2]int{p.Src, p.Dst}], p)
+		}
+	}
 }
 
 // Enqueue schedules a packet from src to dst with the given length.
@@ -66,33 +108,9 @@ func (h *Harness) Run(maxCycles sim.Cycle) []*packet.Packet {
 	for _, q := range h.queues {
 		want += len(q)
 	}
-	next := make([]int, h.Net.Nodes())
-	ok := h.Eng.RunUntil(func() bool {
-		now := h.Eng.Now()
-		for n := 0; n < h.Net.Nodes(); n++ {
-			ifc := h.Net.Iface(n)
-			ifc.Tick(now)
-			if next[n] < len(h.queues[n]) {
-				p := h.queues[n][next[n]]
-				if ifc.CanAccept(p.Class) {
-					ifc.StartSend(now, p)
-					next[n]++
-				}
-			}
-			for {
-				p, got := ifc.Deliver(now, nil)
-				if !got {
-					break
-				}
-				if p.Dst != n {
-					h.T.Fatalf("packet %v delivered to node %d", p, n)
-				}
-				h.received = append(h.received, p)
-				h.ByPair[[2]int{p.Src, p.Dst}] = append(h.ByPair[[2]int{p.Src, p.Dst}], p)
-			}
-		}
-		return len(h.received) == want
-	}, maxCycles)
+	h.driving = true
+	ok := h.Eng.RunUntil(func() bool { return len(h.received) == want }, maxCycles)
+	h.driving = false
 	if !ok {
 		h.T.Fatalf("delivered %d/%d packets in %d cycles (buffered flits: %d)",
 			len(h.received), want, maxCycles, h.Net.BufferedFlits())

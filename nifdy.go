@@ -139,6 +139,25 @@ var (
 	StandardNetworks = harness.StandardNetworks
 )
 
+// Flow-level fidelity (internal/flow): bandwidth-sharing twins of the flit
+// fabrics and the analytic constructors for 100k+ node scaling runs. See
+// DESIGN.md §8.
+var (
+	// FlowTwin is spec's flow-level twin, sized from the flit fabric's
+	// measured characteristics.
+	FlowTwin = harness.FlowTwin
+	// HybridTwin embeds spec's flit fabric as the cycle-accurate hot region
+	// of a flow-level fabric spanning totalNodes.
+	HybridTwin = harness.HybridTwin
+	// FlowMeshSized is an analytically sized x-by-y flow-level mesh.
+	FlowMeshSized = harness.FlowMeshSized
+	// FlowFatTreeSized is an analytically sized 4^levels flow-level fat tree.
+	FlowFatTreeSized = harness.FlowFatTreeSized
+	// ScaleBench measures a fabric's simulated node-cycles per wall second
+	// under saturation traffic.
+	ScaleBench = harness.ScaleBench
+)
+
 // Experiment entry points — one per paper table/figure (see DESIGN.md and
 // EXPERIMENTS.md). Each returns formatted tables; options structs allow
 // reduced-scale runs.
@@ -203,6 +222,10 @@ type (
 	AckOpts = harness.AckOpts
 	// SweepOpts parameterizes Table3Sweep.
 	SweepOpts = harness.SweepOpts
+	// ScaleOpts parameterizes ScaleBench.
+	ScaleOpts = harness.ScaleOpts
+	// ScaleResult is one ScaleBench measurement.
+	ScaleResult = harness.ScaleResult
 	// ModelCheckOpts parameterizes ModelCheck.
 	ModelCheckOpts = harness.ModelCheckOpts
 )

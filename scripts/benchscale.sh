@@ -1,0 +1,38 @@
+#!/bin/sh
+# benchscale.sh [FLOOR] — 100k-node flow-engine scaling smoke.
+#
+# Runs the scale experiment (cycle-accurate 64-node baseline, 4096-node
+# hybrid, 102,400-node flow fabric) twice through nifdy-bench with the same
+# seed and checks three things:
+#   - determinism: the two flow runs must deliver identical packet counts
+#     (the flow solver is part of the bit-identical contract);
+#   - throughput: the flow run must clear FLOOR simulated node-cycles per
+#     wall second (default 10,000,000 — far under a healthy run, so only a
+#     gross regression or an accidental cycle-by-cycle fallback trips it);
+#   - report: the flow/flit fidelity speedup, for the scale table in README.
+set -eu
+
+floor=${1:-10000000}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "benchscale: scale run 1..."
+go run ./cmd/nifdy-bench -exp scale -json "$tmp/a.json" > /dev/null
+echo "benchscale: scale run 2 (determinism check)..."
+go run ./cmd/nifdy-bench -exp scale -json "$tmp/b.json" > /dev/null
+
+jq -r -n --slurpfile a "$tmp/a.json" --slurpfile b "$tmp/b.json" --argjson floor "$floor" '
+  def row(f; m): f[0].experiments | map(select(.name == "scale" and .mode == m)) | .[0].metrics[0];
+  row($a; "flow") as $fa | row($b; "flow") as $fb | row($a; "flit") as $ft |
+  "flow \($fa.nodes) nodes: \($fa.node_cycles_per_sec | round) node-cyc/s " +
+    "(flit baseline \($ft.node_cycles_per_sec | round))",
+  "fidelity speedup: \($fa.node_cycles_per_sec / $ft.node_cycles_per_sec * 10 | round / 10)x",
+  (if $fa.delivered_packets != $fb.delivered_packets then
+     "FAIL: flow run not deterministic (\($fa.delivered_packets) vs \($fb.delivered_packets) delivered)"
+       | halt_error(1)
+   else "determinism: \($fa.delivered_packets) packets delivered in both runs" end),
+  (if $fa.node_cycles_per_sec < $floor then
+     "FAIL: flow throughput \($fa.node_cycles_per_sec | round) below floor \($floor)"
+       | halt_error(1)
+   else empty end)
+'
