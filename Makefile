@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-scale baseline clean
+.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale baseline clean
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ check-deep:
 # pool and quiescence protocol, the harness's concurrent simulations,
 # and the goroutine-per-node processors — under the race detector.
 race:
-	$(GO) test -race -count=1 -timeout 3600s ./internal/sim/... ./internal/harness/... ./internal/node/... ./internal/core/...
+	$(GO) test -race -count=1 -timeout 3600s ./internal/sim/... ./internal/harness/... ./internal/node/... ./internal/core/... ./internal/dist/...
 
 # bench-smoke runs one iteration of the engine microbenchmarks and the
 # cheap end-to-end cycle benchmark: enough to catch gross regressions
@@ -64,10 +64,18 @@ benchdiff:
 
 # bench-parallel measures the intra-simulation parallel speedup: Figure 2
 # heavy traffic at shards=1 vs shards=N (default min(GOMAXPROCS, nodes)),
+# both at sync window W (default 4, the once-per-window barrier regime),
 # failing if the multi-shard run is slower. Skips on single-core hosts.
-# Override the shard count with: make bench-parallel SHARDS=4
+# Override with: make bench-parallel SHARDS=4 WINDOW=8
 bench-parallel:
-	./scripts/benchparallel.sh $(SHARDS)
+	./scripts/benchparallel.sh $(or $(SHARDS),0) $(or $(WINDOW),4)
+
+# bench-dist gates the multi-process engine: 1/2(/4)-worker runs of the
+# same workload must produce byte-identical state traces (asserted on any
+# host), and the 2-process run must not be slower than 1-process when the
+# host has at least 2 CPUs (skipped below that).
+bench-dist:
+	./scripts/benchdist.sh
 
 # bench-scale smoke-tests the flow engine at 100k+ nodes: two identical
 # scale runs must deliver bit-identical packet counts, and the flow fabric

@@ -11,10 +11,11 @@
 //	nifdy-bench -exp f2 -shards 4        # 4 engine shards per simulation (bit-identical)
 //	nifdy-bench -exp f2 -mode flow       # Figure 2 on the flow-level twins of each fabric
 //	nifdy-bench -exp scale               # node-cycles/sec: flit baseline vs 100k-node flow run
+//	nifdy-bench -exp dist -procs 1,2,4   # multi-process engine: bit-identity + wall clock per proc count
 //	nifdy-bench -check                   # invariant-monitor fuzz sweep; exit 1 on violation
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
-// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, scale, all.
+// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, scale, dist, all.
 //
 // -mode selects the fabric fidelity for f2/f3: "flit" (default) is the
 // cycle-accurate reference, "flow" swaps each network for its flow-level
@@ -34,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,7 +54,10 @@ type expRecord struct {
 	Metrics []json.RawMessage `json:"metrics,omitempty"`
 }
 
-// benchFile is the top-level shape of the -json output.
+// benchFile is the top-level shape of the -json output. NumCPU and
+// GOMAXPROCS qualify every timing in the file: a speedup claim from a
+// sharded or multi-process run is only meaningful relative to the
+// parallelism the host actually had.
 type benchFile struct {
 	Date        string      `json:"date"`
 	GoVersion   string      `json:"go_version"`
@@ -60,18 +65,28 @@ type benchFile struct {
 	Seed        uint64      `json:"seed"`
 	Full        bool        `json:"full"`
 	Shards      int         `json:"shards"`
+	Window      int         `json:"window,omitempty"`
 	GOMAXPROCS  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"numcpu"`
 	Experiments []expRecord `json:"experiments"`
 }
 
 func main() {
+	// The dist experiment (and the fuzz sweep's multi-process column)
+	// re-executes this binary as distributed workers; a worker invocation
+	// must join the cluster protocol before any flag parsing.
+	if nifdy.DistWorkerMain() {
+		return
+	}
 	var (
-		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,scale,all)")
+		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,scale,dist,all)")
 		full    = flag.Bool("full", false, "paper-scale budgets instead of reduced")
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
 		shards  = flag.Int("shards", 0, "engine shards per simulation for f2/f3/f4 (0 = min(GOMAXPROCS, nodes), 1 = serial; bit-identical results)")
 		net     = flag.String("net", "mesh", "network for -exp t3sweep (mesh,torus,fattree,sf,cm5,butterfly,multibutterfly,mesh3d)")
 		mode    = flag.String("mode", "flit", "fabric fidelity for f2/f3 (flit,flow,hybrid)")
+		procs   = flag.String("procs", "", "worker process counts for -exp dist, comma-separated (default 1,2 and 4 when the host has >=4 CPUs)")
+		window  = flag.Int("window", 0, "conservative sync window W in cycles for f2/f3 and -exp dist (0 = default: 1 for figures, 4 for dist; W is a model parameter — delivered counts depend on it)")
 		chk     = flag.Bool("check", false, "run the invariant-monitor fuzz sweep instead of experiments (exit 1 on any violation; -full scales it up)")
 		jsonOut = flag.String("json", "", "also write ns/op and reported metrics per experiment to this file (e.g. BENCH_2006-01-02.json)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -188,7 +203,7 @@ func main() {
 				extra = append(extra, raw)
 			}
 		case "f2":
-			o := synthOpts(*full, *seed, *shards)
+			o := synthOpts(*full, *seed, *shards, *window)
 			o.Networks = modeNets
 			recMode = *mode
 			tbl := nifdy.Figure2(o)
@@ -196,7 +211,7 @@ func main() {
 			fmt.Println(tbl.Chart("pkts", 0, 1, 2, 3))
 			collect(tbl)
 		case "f3":
-			o := synthOpts(*full, *seed, *shards)
+			o := synthOpts(*full, *seed, *shards, *window)
 			o.Networks = modeNets
 			recMode = *mode
 			tbl := nifdy.Figure3(o)
@@ -340,6 +355,75 @@ func main() {
 			}
 			fmt.Println(tbl)
 			recorded = true
+		case "dist":
+			// Multi-process engine: the same mesh workload run over 1, 2,
+			// and (on >=4-CPU hosts) 4 worker processes connected by the
+			// staged socket/shared-memory transport, one engine shard per
+			// worker so the proc count is the parallelism. Every run's full
+			// golden trace must be byte-identical to the single-process run
+			// — the state trace is split-invariant, so the rows may differ
+			// only in wall clock. One record per proc count so speedup is
+			// first-class in the baseline file.
+			counts := distProcCounts(*procs)
+			cycles := int64(60_000)
+			if *full {
+				cycles = 400_000
+			}
+			w := *window
+			if w == 0 {
+				w = 4
+			}
+			spec := nifdy.DistSpec{
+				Net: "mesh2d", Kind: int(nifdy.KindNIFDY),
+				Window: w, Seed: *seed, PendingInterval: 1000,
+				Pattern: "heavy", Phases: 1 << 20,
+			}
+			shm := runtime.GOOS == "linux"
+			tbl := stats.NewTable("Distributed engine: wall clock by worker processes",
+				"procs", "shards", "window", "cycles", "wall", "speedup")
+			ref := ""
+			var refNS int64
+			for _, p := range counts {
+				spec.Shards = p
+				start := time.Now()
+				trace, err := nifdy.DistTrace(spec, p, cycles, 1000, shm)
+				wall := time.Since(start)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dist procs=%d: %v\n", p, err)
+					os.Exit(1)
+				}
+				if ref == "" {
+					ref, refNS = trace, wall.Nanoseconds()
+				} else if trace != ref {
+					fmt.Fprintf(os.Stderr, "dist procs=%d diverges from procs=%d\n", p, counts[0])
+					os.Exit(1)
+				}
+				speedup := float64(refNS) / float64(wall.Nanoseconds())
+				tbl.Row(p, spec.Shards, w, cycles,
+					wall.Round(time.Millisecond).String(),
+					fmt.Sprintf("%.2fx", speedup))
+				if *jsonOut != "" {
+					raw, err := json.Marshal(struct {
+						Procs   int     `json:"procs"`
+						Shards  int     `json:"shards"`
+						Window  int     `json:"window"`
+						Cycles  int64   `json:"cycles"`
+						WallNS  int64   `json:"wall_ns"`
+						Speedup float64 `json:"speedup"`
+					}{p, spec.Shards, w, cycles, wall.Nanoseconds(), speedup})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "marshal dist/procs=%d: %v\n", p, err)
+						continue
+					}
+					records = append(records, expRecord{
+						Name: id, Mode: fmt.Sprintf("procs=%d", p),
+						NsPerOp: wall.Nanoseconds(), Metrics: []json.RawMessage{raw},
+					})
+				}
+			}
+			fmt.Println(tbl)
+			fmt.Printf("dist: all %d proc counts byte-identical over %d cycles\n", len(counts), cycles)
+			recorded = true
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
@@ -379,7 +463,9 @@ func main() {
 			Seed:        *seed,
 			Full:        *full,
 			Shards:      *shards,
+			Window:      *window,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 			Experiments: records,
 		}
 		buf, err := json.MarshalIndent(out, "", "  ")
@@ -394,6 +480,28 @@ func main() {
 		}
 		fmt.Printf("wrote baseline to %s (%d experiments)\n", *jsonOut, len(records))
 	}
+}
+
+// distProcCounts parses -procs, defaulting to {1, 2} plus 4 on hosts with
+// at least 4 CPUs (a 4-worker run on fewer cores only measures contention).
+func distProcCounts(s string) []int {
+	if s == "" {
+		out := []int{1, 2}
+		if runtime.NumCPU() >= 4 {
+			out = append(out, 4)
+		}
+		return out
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // sim20k is the scale experiment's cycle budget: 20k reduced, 100k full.
@@ -426,8 +534,8 @@ func modeNetworks(mode string) ([]nifdy.NetSpec, bool) {
 	return nil, false
 }
 
-func synthOpts(full bool, seed uint64, shards int) nifdy.SynthOpts {
-	o := nifdy.SynthOpts{Seed: seed, Shards: shards}
+func synthOpts(full bool, seed uint64, shards, window int) nifdy.SynthOpts {
+	o := nifdy.SynthOpts{Seed: seed, Shards: shards, Window: window}
 	if !full {
 		o.Cycles = 150_000
 	}

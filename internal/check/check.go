@@ -104,6 +104,13 @@ type Options struct {
 	// OnViolation, when set, receives each violation instead of the default
 	// action (panic on first breach). Violations are recorded either way.
 	OnViolation func(Violation)
+	// Local restricts sweeps to the per-NIC protocol monitors and the
+	// NIC/processor recycle-safety census, skipping the global substrate
+	// census (flit/credit conservation, vc-capacity, wire walks). Set in
+	// distributed worker processes: packets whose flits are buffered in peer
+	// processes make the local conservation books unbalanced by design,
+	// while the protocol invariants of locally owned NICs remain exact.
+	Local bool
 }
 
 // Checker is the invariant-monitor subsystem for one simulation. Create it
@@ -125,6 +132,12 @@ type Checker struct {
 
 	violations []Violation
 	sweeps     int64
+
+	// clock is the step hook's fast-forward clock: it points at the next
+	// interval-grid cycle, so the engine may skip (or window past) the
+	// provably sweep-free cycles in between. Grid points themselves are
+	// never skipped — a fast-forward jump lands exactly on the clock's wake.
+	clock sim.Activity
 }
 
 // New returns a Checker for the simulation driven by eng over net.
@@ -151,9 +164,14 @@ func (c *Checker) AddNIC(nc nic.NIC) { c.nics = append(c.nics, nc) }
 // AddProc registers a processor so its inbox joins the whole-packet census.
 func (c *Checker) AddProc(p *node.Proc) { c.procs = append(c.procs, p) }
 
-// Install registers the monitor sweep as an engine step hook. Call once,
-// after the components are registered.
-func (c *Checker) Install() { c.eng.RegisterStepHook(c.step) }
+// Install registers the monitor sweep as a clocked engine step hook. Call
+// once, after the components are registered. The clock points at the next
+// interval-grid cycle, so sweeps neither pin the engine to cycle-by-cycle
+// stepping nor miss a grid point: fast-forward jumps and window boundaries
+// both land exactly on the clock's wake, and the cycles in between are
+// provably sweep-free (event processing is order-preserving under batching,
+// so draining at grid points observes the same sequences).
+func (c *Checker) Install() { c.eng.RegisterStepHookClocked(c.step, &c.clock) }
 
 // step is the engine step hook: it runs pre-tick on the stepping goroutine,
 // observing the fully flushed state of the previous cycle.
@@ -162,8 +180,39 @@ func (c *Checker) step(now sim.Cycle) {
 		c.processEvents(now)
 	}
 	if now%c.opts.Interval == 0 {
-		c.sweep(now)
+		if c.opts.Local {
+			c.sweepLocal(now)
+		} else {
+			c.sweep(now)
+		}
 		c.sweeps++
+	}
+	c.clock.Sleep(now - now%c.opts.Interval + c.opts.Interval)
+}
+
+// sweepLocal is the distributed-worker sweep: per-NIC protocol monitors and
+// the recycle-safety census over locally owned NIC queues and processor
+// inboxes only (see Options.Local).
+func (c *Checker) sweepLocal(now sim.Cycle) {
+	whole := map[*packet.Packet]whereRef{}
+	addWhole := func(nd int, where string, p *packet.Packet) {
+		if p == nil {
+			c.report(now, MonRecycleSafety, nd, "nil packet referenced from %s", where)
+			return
+		}
+		if prev, ok := whole[p]; ok {
+			c.report(now, MonRecycleSafety, nd,
+				"packet %v reachable twice: %s@%d and %s@%d", p, prev.where, prev.node, where, nd)
+			return
+		}
+		whole[p] = whereRef{where, nd}
+	}
+	for _, nc := range c.nics {
+		c.auditNIC(now, nc, addWhole)
+	}
+	for _, p := range c.procs {
+		nd := p.ID()
+		p.AuditInbox(func(pkt *packet.Packet) { addWhole(nd, "inbox", pkt) })
 	}
 }
 

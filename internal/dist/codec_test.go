@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+)
+
+// sampleFrame builds a frame exercising every section and encoding path.
+func sampleFrame() *windowFrame {
+	return &windowFrame{
+		Seq:      42,
+		Boundary: 12_000,
+		Ticked:   true,
+		Done:     false,
+		Idle:     sim.Never,
+		Barriers: []barrierDelta{{ID: 0, Delta: 3}, {ID: 7, Delta: -2}},
+		Pending:  []pendingDelta{{Node: 63, Delta: 1}, {Node: 0, Delta: -1}},
+		Flits: []flitEvent{
+			{
+				Edge: 5, At: 12_004, VC: 1, Index: 0, PktID: 1<<40 | 9, HasPkt: true,
+				Pkt: packet.Packet{ID: 1<<40 | 9, Src: 1, Dst: 2, Words: 3, Seq: 4},
+			},
+			{Edge: 5, At: 12_008, VC: 1, Index: 1, PktID: 1<<40 | 9},
+		},
+		Credits: []creditEvent{{Edge: 2, At: 12_004, VC: 0}, {Edge: 2, At: 12_005, VC: 3}},
+	}
+}
+
+func encodeFrame(f *windowFrame) []byte {
+	var e enc
+	encodeWindowFrame(&e, f)
+	return append([]byte(nil), e.bytes()...)
+}
+
+func TestWindowFrameRoundTrip(t *testing.T) {
+	for _, f := range []*windowFrame{
+		sampleFrame(),
+		{Seq: 0, Boundary: 0, Idle: 0},
+		{Seq: 1, Boundary: 500, Ticked: false, Done: true, Idle: 700},
+	} {
+		b := encodeFrame(f)
+		var got windowFrame
+		if err := decodeWindowFrame(b, &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Normalize nil vs empty sections before the deep compare.
+		want := *f
+		for _, s := range []struct{ w, g int }{
+			{len(want.Barriers), len(got.Barriers)},
+			{len(want.Pending), len(got.Pending)},
+			{len(want.Flits), len(got.Flits)},
+			{len(want.Credits), len(got.Credits)},
+		} {
+			if s.w != s.g {
+				t.Fatalf("section length %d != %d", s.g, s.w)
+			}
+		}
+		if want.Seq != got.Seq || want.Boundary != got.Boundary ||
+			want.Ticked != got.Ticked || want.Done != got.Done || want.Idle != got.Idle {
+			t.Fatalf("header mismatch: got %+v want %+v", got, want)
+		}
+		for i := range want.Flits {
+			if !reflect.DeepEqual(want.Flits[i], got.Flits[i]) {
+				t.Fatalf("flit %d: got %+v want %+v", i, got.Flits[i], want.Flits[i])
+			}
+		}
+		for i := range want.Barriers {
+			if want.Barriers[i] != got.Barriers[i] {
+				t.Fatalf("barrier %d: got %+v want %+v", i, got.Barriers[i], want.Barriers[i])
+			}
+		}
+		for i := range want.Pending {
+			if want.Pending[i] != got.Pending[i] {
+				t.Fatalf("pending %d: got %+v want %+v", i, got.Pending[i], want.Pending[i])
+			}
+		}
+		for i := range want.Credits {
+			if want.Credits[i] != got.Credits[i] {
+				t.Fatalf("credit %d: got %+v want %+v", i, got.Credits[i], want.Credits[i])
+			}
+		}
+	}
+}
+
+// fillValue sets every field of v to a distinct nonzero value, recursing into
+// structs. Small unsigned kinds stay within a byte, matching the codec's u8
+// fields (enums).
+func fillValue(v reflect.Value, seed *uint64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillValue(v.Field(i), seed)
+		}
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*seed++
+		v.SetInt(int64(*seed))
+	case reflect.Uint8:
+		*seed++
+		v.SetUint(*seed % 200)
+	case reflect.Uint, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*seed++
+		v.SetUint(*seed * 1_000_003)
+	default:
+		panic("unhandled packet field kind " + v.Kind().String())
+	}
+}
+
+// TestPacketCodecCoversEveryField fills packet.Packet entirely by reflection
+// and round-trips it: adding a field to the struct without carrying it in
+// encodePacket/decodePacket fails here instead of silently desynchronizing
+// worker processes.
+func TestPacketCodecCoversEveryField(t *testing.T) {
+	var p packet.Packet
+	seed := uint64(7)
+	fillValue(reflect.ValueOf(&p).Elem(), &seed)
+	var e enc
+	encodePacket(&e, &p)
+	d := &dec{b: e.bytes()}
+	var got packet.Packet
+	decodePacket(d, &got)
+	if d.err != nil {
+		t.Fatalf("decode: %v", d.err)
+	}
+	if d.off != len(e.bytes()) {
+		t.Fatalf("decode consumed %d of %d bytes", d.off, len(e.bytes()))
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed packet:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeWindowFrameErrors(t *testing.T) {
+	valid := encodeFrame(sampleFrame())
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad type":       {0x7f},
+		"truncated":      valid[:len(valid)/2],
+		"trailing":       append(append([]byte(nil), valid...), 0xee),
+		"huge count":     {frameWindow, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f},
+		"uvarint sprawl": {frameWindow, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+	}
+	for name, b := range cases {
+		var f windowFrame
+		if err := decodeWindowFrame(b, &f); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// TestDecodeWindowFrameAllocs pins the decoder's steady-state allocation
+// behavior: decoding into a warm frame (section slices at capacity) allocates
+// nothing — the exchange reuses one frame per peer for the whole run.
+func TestDecodeWindowFrameAllocs(t *testing.T) {
+	b := encodeFrame(sampleFrame())
+	var f windowFrame
+	if err := decodeWindowFrame(b, &f); err != nil {
+		t.Fatalf("warmup decode: %v", err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := decodeWindowFrame(b, &f); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm decode allocates %.1f objects per frame, want 0", allocs)
+	}
+}
+
+// FuzzFrameCodec feeds the decoder adversarial bytes: it must never panic and
+// never allocate beyond the frame's own sections, and any accepted input must
+// reach a canonical fixed point (decode -> encode is idempotent).
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(encodeFrame(sampleFrame()))
+	f.Add([]byte{frameWindow})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr windowFrame
+		if err := decodeWindowFrame(data, &fr); err != nil {
+			return
+		}
+		var e enc
+		encodeWindowFrame(&e, &fr)
+		first := append([]byte(nil), e.bytes()...)
+		var fr2 windowFrame
+		if err := decodeWindowFrame(first, &fr2); err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		e.reset()
+		encodeWindowFrame(&e, &fr2)
+		if !bytes.Equal(first, e.bytes()) {
+			t.Fatalf("canonical encoding not a fixed point:\n %x\nvs %x", first, e.bytes())
+		}
+	})
+}

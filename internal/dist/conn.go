@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// maxFrame bounds a single frame; anything larger indicates stream
+// corruption rather than a legitimate exchange.
+const maxFrame = 1 << 28
+
+// shmFlag in a frame header marks the payload as resident in the shared-
+// memory segment rather than inline on the socket.
+const shmFlag = 1 << 31
+
+// Conn is one duplex peer (or launcher control) connection: length-prefixed
+// frames over a Unix socketpair end, with an optional shared-memory fast
+// path for the payload bytes.
+//
+// Sends are asynchronous — sendAsync hands the buffer to a dedicated writer
+// goroutine and waitSent joins it — so a full-mesh exchange can put every
+// peer's frame in flight before any peer starts draining, which is what
+// makes the all-send-then-all-receive boundary protocol deadlock-free
+// regardless of kernel socket buffer sizes. The caller owns the buffer again
+// only after waitSent.
+//
+// The shared-memory path (segments mapped by newShmPair) writes the payload
+// into the egress segment and sends only the header on the socket, with
+// shmFlag set. The segment is split into two halves used alternately: the
+// receiver lags the sender by at most one frame (the window exchange is a
+// strict per-boundary alternation — a sender cannot start boundary k+2
+// before the receiver has consumed boundary k's frame), so half k%2 is
+// always stable while the receiver copies it. The socket write/read pair
+// orders the segment access across the processes. Frames larger than a half
+// fall back to inline transfer, flagged per frame.
+type Conn struct {
+	f *os.File
+
+	// shmW is this side's egress segment, shmR the ingress one (both nil
+	// without shared memory); shmSent/shmRecvd count shm frames for the
+	// half-alternation.
+	shmW, shmR        []byte
+	shmSent, shmRecvd uint64
+
+	sendCh   chan []byte
+	errCh    chan error
+	inFlight bool
+
+	rbuf []byte
+}
+
+// newConn wraps an open socketpair end. The writer goroutine lives until
+// Close.
+func newConn(f *os.File) *Conn {
+	c := &Conn{f: f, sendCh: make(chan []byte), errCh: make(chan error, 1)}
+	go c.writer(c.sendCh)
+	return c
+}
+
+// setShm installs the mapped segments (egress, ingress halves of a pair
+// mapping). Call before the first frame.
+func (c *Conn) setShm(w, r []byte) { c.shmW, c.shmR = w, r }
+
+// writer is the per-connection send goroutine: one frame per sendAsync,
+// one completion per frame on errCh. The channel arrives as a parameter
+// rather than through the field, which Close nils concurrently.
+func (c *Conn) writer(in <-chan []byte) {
+	var hdr [4]byte
+	for b := range in {
+		var err error
+		if half := len(c.shmW) / 2; half > 0 && len(b) <= half {
+			copy(c.shmW[int(c.shmSent%2)*half:], b)
+			c.shmSent++
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(b))|shmFlag)
+			_, err = c.f.Write(hdr[:])
+		} else {
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+			if _, err = c.f.Write(hdr[:]); err == nil && len(b) > 0 {
+				_, err = c.f.Write(b)
+			}
+		}
+		c.errCh <- err
+	}
+}
+
+// sendAsync queues b for transmission. The caller must not touch b again
+// until waitSent returns. At most one send may be in flight per Conn.
+func (c *Conn) sendAsync(b []byte) {
+	if c.inFlight {
+		panic("dist: sendAsync with a send already in flight")
+	}
+	if len(b) > maxFrame {
+		panic(fmt.Sprintf("dist: frame of %d bytes exceeds limit", len(b)))
+	}
+	c.inFlight = true
+	c.sendCh <- b
+}
+
+// waitSent joins the in-flight send, returning its write error.
+func (c *Conn) waitSent() error {
+	if !c.inFlight {
+		return nil
+	}
+	c.inFlight = false
+	return <-c.errCh
+}
+
+// send transmits b synchronously (control-path convenience).
+func (c *Conn) send(b []byte) error {
+	c.sendAsync(b)
+	return c.waitSent()
+}
+
+// readFrame reads one frame, returning a buffer valid until the next call.
+func (c *Conn) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.f, hdr[:]); err != nil {
+		return nil, err
+	}
+	v := binary.BigEndian.Uint32(hdr[:])
+	n := int(v &^ uint32(shmFlag))
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame header claims %d bytes", n)
+	}
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	b := c.rbuf[:n]
+	if v&shmFlag != 0 {
+		half := len(c.shmR) / 2
+		if n > half {
+			return nil, fmt.Errorf("dist: shm frame of %d bytes exceeds segment half %d", n, half)
+		}
+		copy(b, c.shmR[int(c.shmRecvd%2)*half:])
+		c.shmRecvd++
+		return b, nil
+	}
+	if _, err := io.ReadFull(c.f, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close tears the connection down: the writer goroutine exits and the
+// underlying descriptor is closed (unblocking any pending read with an
+// error, which is how peers observe a crashed process).
+func (c *Conn) Close() error {
+	if c.sendCh != nil {
+		if c.inFlight {
+			c.inFlight = false
+			<-c.errCh
+		}
+		close(c.sendCh)
+		c.sendCh = nil
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,47 @@
+//go:build linux
+
+package dist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// shmSupported reports whether the same-host shared-memory fast path is
+// available on this platform.
+const shmSupported = true
+
+// newShmFile creates an anonymous shared-memory file of size bytes for one
+// unordered worker pair. The name is unlinked immediately; the file lives
+// only as long as the descriptors inherited by the two workers.
+func newShmFile(size int) (*os.File, error) {
+	f, err := os.CreateTemp("/dev/shm", "nifdy-dist-*")
+	if err != nil {
+		return nil, fmt.Errorf("dist: create shm file: %w", err)
+	}
+	// Unlink now so a crashed run leaves nothing behind in /dev/shm.
+	os.Remove(f.Name())
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: size shm file: %w", err)
+	}
+	return f, nil
+}
+
+// mapShm maps the pair file shared read-write. Each pair file holds two
+// egress segments of segBytes each: region 0 is written by the lower-ranked
+// worker, region 1 by the higher-ranked one; lower reports whether the
+// caller is the lower rank. Returns (egress, ingress).
+func mapShm(f *os.File, segBytes int, lower bool) ([]byte, []byte, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, 2*segBytes,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: mmap shm: %w", err)
+	}
+	lo, hi := b[:segBytes:segBytes], b[segBytes:]
+	if lower {
+		return lo, hi, nil
+	}
+	return hi, lo, nil
+}

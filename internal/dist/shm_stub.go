@@ -1,0 +1,20 @@
+//go:build !linux
+
+package dist
+
+import (
+	"errors"
+	"os"
+)
+
+// shmSupported reports whether the same-host shared-memory fast path is
+// available on this platform.
+const shmSupported = false
+
+func newShmFile(size int) (*os.File, error) {
+	return nil, errors.New("dist: shared memory transport requires linux")
+}
+
+func mapShm(f *os.File, segBytes int, lower bool) ([]byte, []byte, error) {
+	return nil, nil, errors.New("dist: shared memory transport requires linux")
+}

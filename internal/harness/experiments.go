@@ -64,6 +64,12 @@ type SynthOpts struct {
 	// DefaultShards (min(GOMAXPROCS, nodes)), 1 forces the serial engine.
 	// Results are bit-identical for any value.
 	Shards int
+	// Window is the conservative synchronization window W in cycles
+	// (default 1, the paper's per-tick model). W is a model parameter:
+	// channels gain up to W-1 cycles of latency, so delivered counts
+	// depend on it — but for a fixed W they are bit-identical at every
+	// shard count, and W >= 4 amortizes the sharded engine's barrier.
+	Window int
 }
 
 // DefaultShards is the default intra-simulation parallelism for the figure
@@ -100,7 +106,7 @@ func topoIfaceDefaults() topo.IfaceOptions { return topo.IfaceOptions{} }
 
 // synthRow runs one network across the NIC kinds and returns delivered
 // packet counts in kind order.
-func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cycles sim.Cycle, seed uint64, shards int) []int64 {
+func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cycles sim.Cycle, seed uint64, shards, window int) []int64 {
 	out := make([]int64, len(kinds))
 	tasks := make([]func(), len(kinds))
 	for ki, kind := range kinds {
@@ -108,8 +114,8 @@ func synthRow(spec NetSpec, kinds []NICKind, mkTraffic func() traffic.Config, cy
 		tasks[ki] = func() {
 			tcfg := mkTraffic()
 			s := Build(BuildOpts{Net: spec, Kind: kind, Seed: seed,
-				EngineShards: shards,
-				Program:      programFromTraffic(tcfg)})
+				EngineShards: shards, Window: window,
+				Program: programFromTraffic(tcfg)})
 			defer s.Close()
 			s.Eng.Run(cycles)
 			out[ki] = s.Accepted()
@@ -175,7 +181,7 @@ func fillSynth(t *stats.Table, o SynthOpts, mk func(nodes int) traffic.Config) {
 			if shards == 0 {
 				shards = DefaultShards(nodes)
 			}
-			vals := synthRow(spec, o.Kinds, func() traffic.Config { return mk(nodes) }, o.Cycles, o.Seed, shards)
+			vals := synthRow(spec, o.Kinds, func() traffic.Config { return mk(nodes) }, o.Cycles, o.Seed, shards, o.Window)
 			rows[i] = row{spec.Name, vals}
 		})
 	}

@@ -57,10 +57,10 @@ func TestFlowShape(t *testing.T) {
 				return c
 			}
 			twin := FlowTwin(spec)
-			flitHeavy := synthRow(spec, kinds, mkHeavy, cycles, seed, 0)
-			flowHeavy := synthRow(twin, kinds, mkHeavy, cycles, seed, 0)
-			flitLight := synthRow(spec, kinds, mkLight, cycles, seed, 0)
-			flowLight := synthRow(twin, kinds, mkLight, cycles, seed, 0)
+			flitHeavy := synthRow(spec, kinds, mkHeavy, cycles, seed, 0, 0)
+			flowHeavy := synthRow(twin, kinds, mkHeavy, cycles, seed, 0, 0)
+			flitLight := synthRow(spec, kinds, mkLight, cycles, seed, 0, 0)
+			flowLight := synthRow(twin, kinds, mkLight, cycles, seed, 0, 0)
 			t.Logf("heavy flit=%v flow=%v", flitHeavy, flowHeavy)
 			t.Logf("light flit=%v flow=%v", flitLight, flowLight)
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"nifdy/internal/check"
 	"nifdy/internal/core"
@@ -24,6 +25,12 @@ type FuzzOpts struct {
 	// Shards are the engine shard counts per trial; default {1, 2, 4}. The
 	// first entry is the reference for the stats diff.
 	Shards []int
+	// Procs are the multi-process worker counts per trial; default {2}. Each
+	// runs the trial's configuration over the dist transport (the shard count
+	// is a randomized multiple of the worker count) and must reproduce the
+	// reference stats bit for bit, with monitors armed in every worker. Set
+	// to an empty non-nil slice to skip the multi-process column.
+	Procs []int
 	// MaxCycles bounds each run; default 600,000.
 	MaxCycles sim.Cycle
 	// Packets is the per-node, per-phase quota; default 20 (two phases).
@@ -41,6 +48,9 @@ func (o *FuzzOpts) defaults() {
 	}
 	if o.Shards == nil {
 		o.Shards = []int{1, 2, 4}
+	}
+	if o.Procs == nil {
+		o.Procs = []int{2}
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 600_000
@@ -74,11 +84,14 @@ type FuzzResult struct {
 
 // fuzzTrial is one randomized configuration.
 type fuzzTrial struct {
-	spec  NetSpec
-	kind  NICKind
-	param core.Config
-	light bool
-	seed  uint64
+	spec   NetSpec
+	kind   NICKind
+	param  core.Config
+	light  bool
+	seed   uint64
+	window int // conservative-sync window (a model parameter, fixed per trial)
+	dmul   int // multi-process shard count = procs * dmul
+	shm    bool
 }
 
 func (tr fuzzTrial) String() string {
@@ -86,9 +99,22 @@ func (tr fuzzTrial) String() string {
 	if tr.light {
 		pattern = "light"
 	}
-	return fmt.Sprintf("%s/%v O=%d B=%d D=%d W=%d ackArr=%v %s seed=%d",
+	return fmt.Sprintf("%s/%v O=%d B=%d D=%d W=%d ackArr=%v %s win=%d seed=%d",
 		tr.spec.Name, tr.kind, tr.param.O, tr.param.B, tr.param.D, tr.param.W,
-		tr.param.AckOnArrival, pattern, tr.seed)
+		tr.param.AckOnArrival, pattern, tr.window, tr.seed)
+}
+
+// distNetNames maps NetSpec display names to the wire-stable fabric names the
+// distributed runner accepts (distNets).
+var distNetNames = map[string]string{
+	"mesh 8x8":             "mesh2d",
+	"torus 8x8":            "torus2d",
+	"mesh 4x4x4":           "mesh3d",
+	"fat tree (full)":      "fattree",
+	"fat tree (store&fwd)": "sffattree",
+	"fat tree (CM-5)":      "cm5",
+	"butterfly":            "butterfly",
+	"multibutterfly":       "multibutterfly",
 }
 
 // FuzzSweep runs the randomized cross-configuration sweep. Every run arms
@@ -117,24 +143,31 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 				// The ack-strategy ablation rides along for free.
 				AckOnArrival: r.Bool(0.5),
 			},
-			light: r.Bool(0.5),
-			seed:  r.Uint64()%(1<<30) + 1,
+			light:  r.Bool(0.5),
+			seed:   r.Uint64()%(1<<30) + 1,
+			window: 1 + 3*r.Intn(2), // 1 or 4
+			dmul:   1 + r.Intn(2),
+			shm:    r.Bool(0.5) && runtime.GOOS == "linux",
 		}
 	}
 
+	// Columns: every in-process shard count, then every multi-process worker
+	// count. Column 0 (the first shard count, usually serial) is the
+	// reference every other column must match bit for bit.
+	cols := len(o.Shards) + len(o.Procs)
 	type trialOut struct {
 		stats []nic.Stats
 		done  []bool
 		fails [][]FuzzFailure
 	}
 	outs := make([]trialOut, len(trials))
-	tasks := make([]func(), 0, len(trials)*len(o.Shards))
+	tasks := make([]func(), 0, len(trials)*cols)
 	for ti, tr := range trials {
 		ti, tr := ti, tr
 		outs[ti] = trialOut{
-			stats: make([]nic.Stats, len(o.Shards)),
-			done:  make([]bool, len(o.Shards)),
-			fails: make([][]FuzzFailure, len(o.Shards)),
+			stats: make([]nic.Stats, cols),
+			done:  make([]bool, cols),
+			fails: make([][]FuzzFailure, cols),
 		}
 		for si, shards := range o.Shards {
 			si, shards := si, shards
@@ -143,6 +176,15 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 				outs[ti].stats[si] = st
 				outs[ti].done[si] = done
 				outs[ti].fails[si] = fails
+			})
+		}
+		for pi, procs := range o.Procs {
+			ci, procs := len(o.Shards)+pi, procs
+			tasks = append(tasks, func() {
+				st, done, fails := fuzzDistRun(tr, procs, o)
+				outs[ti].stats[ci] = st
+				outs[ti].done[ci] = done
+				outs[ti].fails[ci] = fails
 			})
 		}
 	}
@@ -154,17 +196,76 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 		for _, fs := range out.fails {
 			res.Failures = append(res.Failures, fs...)
 		}
-		for si := 1; si < len(o.Shards); si++ {
+		for si := 1; si < cols; si++ {
+			column := "shards"
+			n := 0
+			if si < len(o.Shards) {
+				n = o.Shards[si]
+			} else {
+				column = "procs"
+				n = o.Procs[si-len(o.Shards)]
+			}
 			if out.done[si] != out.done[0] || out.stats[si] != out.stats[0] {
 				res.Failures = append(res.Failures, FuzzFailure{
-					Trial: tr.String(), Shards: o.Shards[si],
-					Detail: fmt.Sprintf("diverges from shards=%d: done %v vs %v, stats %+v vs %+v",
-						o.Shards[0], out.done[si], out.done[0], out.stats[si], out.stats[0]),
+					Trial: tr.String(), Shards: n,
+					Detail: fmt.Sprintf("%s=%d diverges from shards=%d: done %v vs %v, stats %+v vs %+v",
+						column, n, o.Shards[0], out.done[si], out.done[0], out.stats[si], out.stats[0]),
 				})
 			}
 		}
 	}
 	return res
+}
+
+// fuzzDistRun executes one (trial, worker count) simulation over the dist
+// transport: the launcher re-execs this binary procs times (the embedding
+// main must gate on DistWorkerMain), each worker arms its own monitor suite,
+// and the merged stats must match the in-process reference.
+func fuzzDistRun(tr fuzzTrial, procs int, o FuzzOpts) (nic.Stats, bool, []FuzzFailure) {
+	shards := procs * tr.dmul
+	pattern := "heavy"
+	if tr.light {
+		pattern = "light"
+	}
+	spec := DistSpec{
+		Net:    distNetNames[tr.spec.Name],
+		Kind:   int(tr.kind),
+		Shards: shards,
+		Window: tr.window,
+		Seed:   tr.seed,
+		O:      tr.param.O, B: tr.param.B, D: tr.param.D, W: tr.param.W,
+		AckOnArrival:    tr.param.AckOnArrival,
+		Pattern:         pattern,
+		Phases:          2,
+		PacketsPerPhase: o.Packets,
+		ZeroIgnore:      true,
+		DrainTail:       2500,
+		Check:           true,
+		CheckInterval:   int64(o.Interval),
+	}
+	if spec.Net == "" {
+		panic(fmt.Sprintf("harness: fuzz fabric %q has no distributed-runner name", tr.spec.Name))
+	}
+	st, done, workerFails, err := DistRunToDone(spec, procs, o.MaxCycles, tr.shm)
+	var fails []FuzzFailure
+	if err != nil {
+		fails = append(fails, FuzzFailure{
+			Trial: tr.String(), Shards: shards, Detail: fmt.Sprintf("procs=%d: %v", procs, err),
+		})
+		return st, done, fails
+	}
+	for _, f := range workerFails {
+		if len(fails) < 16 {
+			fails = append(fails, FuzzFailure{Trial: tr.String(), Shards: shards, Detail: f})
+		}
+	}
+	if !done {
+		fails = append(fails, FuzzFailure{
+			Trial: tr.String(), Shards: shards,
+			Detail: fmt.Sprintf("procs=%d did not complete within %d cycles", procs, o.MaxCycles),
+		})
+	}
+	return st, done, fails
 }
 
 // drainTail extends a program with a fixed receive-and-retire window so
@@ -199,7 +300,7 @@ func fuzzRun(tr fuzzTrial, shards int, o FuzzOpts) (nic.Stats, bool, []FuzzFailu
 	progs := programFromTraffic(tcfg)
 	s := Build(BuildOpts{
 		Net: tr.spec, Kind: tr.kind, Seed: tr.seed, Params: tr.param,
-		EngineShards: shards,
+		EngineShards: shards, Window: tr.window,
 		Program: func(n int) node.Program {
 			return drainTail(progs(n), 2500)
 		},
@@ -218,10 +319,9 @@ func fuzzRun(tr fuzzTrial, shards int, o FuzzOpts) (nic.Stats, bool, []FuzzFailu
 	ok, _ := s.RunUntilDone(o.MaxCycles)
 	if ok {
 		// A short settle window lets trailing acks land, then the checker
-		// reports any packet sent but never accepted.
-		for i := 0; i < 500; i++ {
-			s.Eng.Step()
-		}
+		// reports any packet sent but never accepted. Run (not Step) so the
+		// settle follows the same window schedule as the dist workers.
+		s.Eng.Run(500)
 		s.Checker.Finish(s.Eng.Now())
 	} else {
 		fails = append(fails, FuzzFailure{

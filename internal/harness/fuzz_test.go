@@ -32,9 +32,10 @@ func TestFuzzSweepClean(t *testing.T) {
 		Packets: envInt("NIFDY_FUZZ_PACKETS", 0),
 		Seed:    uint64(envInt("NIFDY_FUZZ_SEED", 20260806)),
 	}
+	// Three in-process shard counts plus the default multi-process column.
 	res := FuzzSweep(o)
-	if res.Runs != o.Trials*3 {
-		t.Fatalf("ran %d simulations, want %d", res.Runs, o.Trials*3)
+	if res.Runs != o.Trials*4 {
+		t.Fatalf("ran %d simulations, want %d", res.Runs, o.Trials*4)
 	}
 	for _, f := range res.Failures {
 		t.Errorf("%s", f)
@@ -44,7 +45,7 @@ func TestFuzzSweepClean(t *testing.T) {
 // TestFuzzSweepShapes pins the sweep's own plumbing: a tiny sweep runs the
 // requested trial x shard matrix and reports per-run metadata.
 func TestFuzzSweepShapes(t *testing.T) {
-	res := FuzzSweep(FuzzOpts{Trials: 1, Shards: []int{1}, Seed: 7,
+	res := FuzzSweep(FuzzOpts{Trials: 1, Shards: []int{1}, Procs: []int{}, Seed: 7,
 		Packets: 4, MaxCycles: 400_000, Interval: 64})
 	if res.Runs != 1 {
 		t.Fatalf("runs = %d", res.Runs)

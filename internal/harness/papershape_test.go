@@ -29,7 +29,7 @@ func TestFigure2Ordering(t *testing.T) {
 				c.Phases = 1 << 20
 				return c
 			}
-			vals := synthRow(spec, []NICKind{Plain, BuffersOnly, NIFDY}, mk, cycles, 1995, 0)
+			vals := synthRow(spec, []NICKind{Plain, BuffersOnly, NIFDY}, mk, cycles, 1995, 0, 0)
 			none, buffers, nifdy := vals[0], vals[1], vals[2]
 			if nifdy <= none {
 				t.Errorf("NIFDY %d <= none %d (heavy traffic, %s)", nifdy, none, spec.Name)
@@ -53,7 +53,7 @@ func TestFigure3LightTrafficTolerance(t *testing.T) {
 		c.Phases = 1 << 20
 		return c
 	}
-	vals := synthRow(spec, []NICKind{Plain, NIFDY}, mk, 60_000, 1995, 0)
+	vals := synthRow(spec, []NICKind{Plain, NIFDY}, mk, 60_000, 1995, 0, 0)
 	none, nifdy := vals[0], vals[1]
 	if nifdy <= none {
 		t.Errorf("light traffic on the CM-5 tree: NIFDY %d <= none %d (F3 records a clear win)", nifdy, none)

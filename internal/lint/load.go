@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -120,7 +121,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 
 // LoadDir parses and type-checks the package in dir under the given import
 // path. Test files are skipped: the contracts the rules enforce are about
-// simulation code, and tests/benchmarks are explicitly exempt.
+// simulation code, and tests/benchmarks are explicitly exempt. Files ruled
+// out by build constraints (`//go:build` lines or _GOOS/_GOARCH filename
+// suffixes) are skipped for the host platform, exactly as the compiler
+// would — a platform pair like shm_linux.go/shm_stub.go otherwise loads as
+// one package full of redeclarations.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
@@ -140,6 +145,9 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
 			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

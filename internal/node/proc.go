@@ -66,10 +66,69 @@ type Barrier struct {
 	// waiters are the activities of processors parked at the barrier; the
 	// release wakes them all.
 	waiters []*sim.Activity
+
+	// Distributed mode (SetDistributed): arrivals are only counted, never
+	// complete the barrier locally — participants are spread across worker
+	// processes, each reporting its arrival delta per window (TakeArrivals)
+	// so all workers observe the global count reach n at the same boundary
+	// and release in lockstep (CompleteAt). reported tracks the arrivals
+	// already included in a delta.
+	dist     bool
+	reported int
 }
 
+// barrierObs, when set, observes every NewBarrier call — the distributed
+// transport's registration hook, giving barriers deterministic creation-
+// order identities shared by all worker processes. Only worker processes
+// (one simulation per process, built single-threaded) set it.
+var barrierObs func(*Barrier)
+
+// SetBarrierObserver installs f to be called with every subsequently created
+// Barrier, or removes the observer when f is nil. Used by the distributed
+// runner; the observer must be installed before the simulation is built and
+// barriers must be created in the same order in every worker process.
+func SetBarrierObserver(f func(*Barrier)) { barrierObs = f }
+
 // NewBarrier returns a barrier for n participants.
-func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	if barrierObs != nil {
+		barrierObs(b)
+	}
+	return b
+}
+
+// SetDistributed switches the barrier to distributed completion: local
+// arrivals accumulate for TakeArrivals and never trigger a local release;
+// the transport calls CompleteAt when the global count reaches n.
+func (b *Barrier) SetDistributed() { b.dist = true }
+
+// Participants reports n, the barrier's total (global) participant count.
+func (b *Barrier) Participants() int { return b.n }
+
+// TakeArrivals reports the number of local arrivals since the previous call
+// — the per-window delta a distributed worker shares with its peers. Called
+// at window boundaries, when no shard is ticking.
+func (b *Barrier) TakeArrivals() int {
+	b.mu.Lock()
+	d := b.arrived - b.reported
+	b.reported = b.arrived
+	b.mu.Unlock()
+	return d
+}
+
+// CompleteAt performs a distributed release: resets the arrival count and
+// wakes every parked waiter at now+1. The transport calls it at the window
+// boundary equal to the release's lattice point with now = boundary-1, so
+// waiters resume exactly when an in-process barrier's deferred release would
+// have woken them.
+func (b *Barrier) CompleteAt(now sim.Cycle) {
+	b.mu.Lock()
+	b.arrived = 0
+	b.reported = 0
+	b.mu.Unlock()
+	b.release(now)
+}
 
 // release is the deferred completion: bump the generation and schedule every
 // parked participant for the next cycle. Runs at the tick/flush boundary.
@@ -384,7 +443,7 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 	b.mu.Lock()
 	b.arrived++
 	gen := b.gen
-	last := b.arrived == b.n
+	last := !b.dist && b.arrived == b.n
 	if last {
 		b.arrived = 0
 		if p.eng == nil {
@@ -403,7 +462,7 @@ func (p *Proc) Barrier(b *Barrier, handler func(*packet.Packet)) {
 		// shard is ticking, so waking parked participants in other shards is
 		// race-free, and everyone (this arriver included) resumes at the
 		// next cycle regardless of tick order within this cycle.
-		p.eng.AtBarrier(p.shard, b.release)
+		p.eng.AtBarrier(p.shard, p.now, b.release)
 	}
 	for b.gen == gen {
 		if pkt, ok := p.inbox.PopFront(); ok {

@@ -34,8 +34,30 @@ type Channel struct {
 // cyclesPerFlit cycles with the given wire latency; credits return with
 // latency 1.
 func NewChannel(cyclesPerFlit, latency int) *Channel {
+	return NewChannelSync(cyclesPerFlit, latency, 1)
+}
+
+// NewChannelSync returns a channel padded for conservative window
+// synchronization: every event (flit arrival, credit return) lands at least
+// window cycles after its send, so a window-W engine can free-run W cycles
+// between cross-shard merges without a consumer ever missing an input. The
+// padding is a model parameter, not an approximation — a fabric built with
+// window W behaves identically for every {shards x processes} split,
+// including fully serial execution, and window 1 is exactly NewChannel.
+// Topologies apply it to router-router channels only (the ones a partition
+// can cut); interface-access channels never cross shards and stay unpadded.
+func NewChannelSync(cyclesPerFlit, latency, window int) *Channel {
+	if window < 1 {
+		window = 1
+	}
+	// Flit arrival offset is cyclesPerFlit+latency-1 (see link.Link.Send);
+	// stretch the wire so the offset reaches the window.
+	flitLat := latency
+	if pad := window - (cyclesPerFlit + latency - 1); pad > 0 {
+		flitLat += pad
+	}
 	return &Channel{
-		Flits:   link.NewLink[packet.Flit](cyclesPerFlit, latency),
-		Credits: link.NewWire[Credit](1),
+		Flits:   link.NewLink[packet.Flit](cyclesPerFlit, flitLat),
+		Credits: link.NewWire[Credit](window),
 	}
 }

@@ -152,6 +152,15 @@ func (f *Flusher) run() {
 	f.dirty = f.dirty[:0]
 }
 
+// deferredCall is one AtBarrier entry: f runs at the window boundary `due`
+// (with now = due-1, the last cycle before the boundary). In per-tick mode
+// due is always the staging cycle plus one, reproducing the classic
+// run-at-this-cycle's-barrier behavior.
+type deferredCall struct {
+	due Cycle
+	f   func(now Cycle)
+}
+
 // shard is one scheduling unit: a tick list with its skip state, a static
 // flush list, and a dirty-latch flusher, plus the parked worker's channels.
 type shard struct {
@@ -159,7 +168,13 @@ type shard struct {
 	acts     []*Activity // parallel to tickers; nil entries always run
 	latches  []Latch
 	flusher  Flusher
-	deferred []func(now Cycle) // staged by this shard's Ticks, drained at the barrier
+	deferred []deferredCall // staged by this shard's Ticks, drained at window boundaries
+
+	// crossFl is the shard's cross-shard wire flusher in windowed mode: the
+	// stepping goroutine drains it at window boundaries (sequentially, in
+	// shard order), instead of the per-cycle flush phase. Per-tick engines
+	// alias cross wires onto the ordinary flusher.
+	crossFl Flusher
 
 	// Fast-forward bookkeeping, written by the shard's own tick phase and
 	// read by the stepping goroutine after the flush barrier: whether any
@@ -178,10 +193,28 @@ type Binder interface {
 	BindEngine(e *Engine, sh int)
 }
 
+// WindowSync is the engine's hook into a cross-process synchronizer
+// (internal/dist): in windowed mode the stepping goroutine calls AtBoundary
+// once per window boundary, after draining the deferred list and the
+// cross-shard wire flushers, with the boundary cycle `next` (the first cycle
+// of the following window), whether this process's done predicate holds,
+// whether any owned shard ticked during the window, and the earliest local
+// wake time (valid only when nothing ticked; Never if fully quiescent).
+//
+// AtBoundary exchanges frames with every peer and returns whether the done
+// predicate holds in all processes (evaluated at the same boundary
+// everywhere) and the earliest global wake — `next` itself when any process
+// ticked (no jump), Never when the whole simulation is quiescent with no
+// scheduled work.
+type WindowSync interface {
+	AtBoundary(next Cycle, localDone, ticked bool, idle Cycle) (done bool, globalIdle Cycle)
+}
+
 // Engine drives a set of Tickers and Latches through simulated cycles.
 type Engine struct {
 	now    Cycle
 	shards []shard
+	lo, hi int // owned shard range [lo,hi); unowned shards never tick
 
 	parallel   bool
 	skip       bool
@@ -191,6 +224,19 @@ type Engine struct {
 	stepHooks  []func(now Cycle)
 	hookClocks []*Activity // parallel to stepHooks; a nil entry disables fast-forward
 	ffEnd      Cycle       // exclusive fast-forward bound, set by Run/RunUntil
+
+	// Conservative time-window synchronization (windowed mode): window W > 1
+	// lets shards free-run W cycles between barriers, legal when every
+	// cross-shard wire's arrival offset is at least W (router.NewChannelSync
+	// pads channels to guarantee it). winEnd is the current window's
+	// exclusive end, published to workers before their release. sync, when
+	// set, is the cross-process synchronizer; crossHook (a topo.CrossHook,
+	// held as any to avoid an import cycle) lets a transport claim boundary-
+	// crossing channels during topology registration.
+	window    Cycle
+	winEnd    Cycle
+	sync      WindowSync
+	crossHook any
 }
 
 // New returns an Engine with a single shard, executing serially, with
@@ -208,11 +254,28 @@ func NewParallel(n int) *Engine {
 	if n < 1 {
 		n = 1
 	}
-	e := newEngine(n)
-	if n > 1 {
+	return NewParallelOwned(n, 0, n)
+}
+
+// NewParallelOwned returns an Engine with total shards of which it executes
+// only the contiguous range [lo,hi) — the worker-process form of NewParallel
+// used by the distributed runner: every process builds the same total-shard
+// simulation but ticks only its owned slice, with registrations outside the
+// range dropped and cross-boundary wires carried by a WindowSync transport.
+// NewParallelOwned(n, 0, n) is NewParallel(n).
+func NewParallelOwned(total, lo, hi int) *Engine {
+	if total < 1 {
+		total = 1
+	}
+	if lo < 0 || hi > total || lo >= hi {
+		panic("sim: NewParallelOwned range out of bounds")
+	}
+	e := newEngine(total)
+	e.lo, e.hi = lo, hi
+	if hi-lo > 1 {
 		e.parallel = true
-		e.phase = make(chan struct{}, n-1)
-		for i := 1; i < n; i++ {
+		e.phase = make(chan struct{}, hi-lo-1)
+		for i := lo + 1; i < hi; i++ {
 			s := &e.shards[i]
 			s.start = make(chan Cycle, 1)
 			s.gate = make(chan struct{}, 1)
@@ -223,11 +286,56 @@ func NewParallel(n int) *Engine {
 }
 
 func newEngine(n int) *Engine {
-	return &Engine{shards: make([]shard, n), skip: true}
+	return &Engine{shards: make([]shard, n), hi: n, skip: true, window: 1}
 }
 
 // Shards reports the number of shards.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Owns reports whether the engine executes shard sh (see NewParallelOwned).
+func (e *Engine) Owns(sh int) bool {
+	sh %= len(e.shards)
+	return sh >= e.lo && sh < e.hi
+}
+
+// Owned reports the engine's owned shard range [lo,hi).
+func (e *Engine) Owned() (lo, hi int) { return e.lo, e.hi }
+
+// SetWindow sets the conservative synchronization window W (default 1).
+// With W > 1, Run and RunUntil execute in windows: shards free-run from one
+// boundary of the absolute W-aligned lattice to the next with no barrier in
+// between, cross-shard wires drain once per window, AtBarrier work releases
+// at lattice points, and step hooks (all of which must be clocked) run at
+// window starts when due. This is only legal when every cross-shard wire
+// arrival lands at or after the next boundary — the fabric must be built
+// with the same window (router.NewChannelSync), making W a model parameter:
+// a fixed W is bit-identical across all {shards x processes} splits, and
+// W = 1 is today's per-tick model. Call before registering components.
+func (e *Engine) SetWindow(w Cycle) {
+	if w < 1 {
+		w = 1
+	}
+	e.window = w
+}
+
+// Window reports the synchronization window.
+func (e *Engine) Window() Cycle { return e.window }
+
+// SetWindowSync installs the cross-process synchronizer, switching Run and
+// RunUntil into windowed mode (even at W = 1, where every cycle is a
+// boundary). Call before registering components.
+func (e *Engine) SetWindowSync(s WindowSync) { e.sync = s }
+
+// SetCrossHook installs a transport hook consulted by topo.MarkCross for
+// every boundary-crossing channel (stored as any: the hook's concrete type,
+// topo.CrossHook, lives above this package). CrossHook returns it.
+func (e *Engine) SetCrossHook(h any) { e.crossHook = h }
+
+// CrossHook returns the hook installed by SetCrossHook, or nil.
+func (e *Engine) CrossHook() any { return e.crossHook }
+
+// windowed reports whether Run/RunUntil use the window loop.
+func (e *Engine) windowed() bool { return e.window > 1 || e.sync != nil }
 
 // SetIdleSkip enables or disables quiescence skipping (enabled by default).
 // Disabling it ticks every component every cycle — the reference schedule
@@ -242,6 +350,12 @@ func (e *Engine) Register(t Ticker) { e.RegisterSharded(0, t) }
 // skipping. Registration is only legal between Steps.
 func (e *Engine) RegisterSharded(sh int, t Ticker) {
 	sh %= len(e.shards)
+	if sh < e.lo || sh >= e.hi {
+		// Unowned shard: another process ticks it. Dropping the registration
+		// (and the Binder call) keeps the component inert here — its state is
+		// never read, so the build stays cheap and identical in shape.
+		return
+	}
 	s := &e.shards[sh]
 	s.tickers = append(s.tickers, t)
 	var a *Activity
@@ -276,32 +390,48 @@ func (e *Engine) RegisterStepHookClocked(f func(now Cycle), a *Activity) {
 	e.hookClocks = append(e.hookClocks, a)
 }
 
-// AtBarrier stages f to run at the tick/flush boundary of the current cycle,
-// on the stepping goroutine, after every shard's tick phase has completed and
-// before any flush begins. At that point no component is running, so f may
+// AtBarrier stages f to run at the next window boundary, on the stepping
+// goroutine, after every shard's tick phase has completed and before the
+// following window begins. At that point no component is running, so f may
 // safely touch state across shards (the canonical use is releasing a
 // processor barrier whose waiters live in multiple shards). sh must be the
-// shard of the Ticker staging the call — each shard's deferred list is
-// single-writer during the tick phase. Deferred functions run in shard
-// order, then in staging order within a shard, making the drain
-// deterministic.
-func (e *Engine) AtBarrier(sh int, f func(now Cycle)) {
+// shard of the Ticker staging the call and now the staging cycle — each
+// shard's deferred list is single-writer during the tick phase. Deferred
+// functions run in shard order, then in staging order within a shard, making
+// the drain deterministic.
+//
+// f's release cycle is quantized to the absolute window lattice: it runs
+// with now = due-1 where due = now - now%W + W, regardless of incidental
+// boundaries (Run chunk ends, hook-clock clamps). In per-tick mode (W = 1)
+// due is now+1, i.e. f runs at this cycle's tick/flush boundary, as before.
+// The quantization is what keeps barrier releases bit-identical across
+// every {shards x processes} split and any Run chunking.
+func (e *Engine) AtBarrier(sh int, now Cycle, f func(now Cycle)) {
 	s := &e.shards[sh%len(e.shards)]
-	s.deferred = append(s.deferred, f)
+	s.deferred = append(s.deferred, deferredCall{due: now - now%e.window + e.window, f: f})
 }
 
-// runDeferred drains every shard's deferred list at the tick/flush boundary.
-func (e *Engine) runDeferred(now Cycle) {
-	for i := range e.shards {
+// runDeferred drains every owned shard's deferred entries that are due at or
+// before the given boundary; later entries (staged under a clamped, earlier-
+// than-lattice boundary) are retained. Each entry runs with now = due-1.
+func (e *Engine) runDeferred(boundary Cycle) {
+	for i := e.lo; i < e.hi; i++ {
 		s := &e.shards[i]
 		if len(s.deferred) == 0 {
 			continue
 		}
-		for j, f := range s.deferred {
-			f(now)
-			s.deferred[j] = nil
+		kept := s.deferred[:0]
+		for _, d := range s.deferred {
+			if d.due <= boundary {
+				d.f(d.due - 1)
+			} else {
+				kept = append(kept, d)
+			}
 		}
-		s.deferred = s.deferred[:0]
+		for j := len(kept); j < len(s.deferred); j++ {
+			s.deferred[j] = deferredCall{}
+		}
+		s.deferred = kept
 	}
 }
 
@@ -327,19 +457,57 @@ func (e *Engine) Flusher(sh int) *Flusher {
 	return &e.shards[sh%len(e.shards)].flusher
 }
 
+// CrossFlusher returns the flusher cross-shard wires must bind to
+// (link.Wire.CrossShard) for the given writer shard. In per-tick mode it is
+// the ordinary shard flusher — staged sends merge in the writer's flush
+// phase, as always. In windowed mode it is a separate per-shard list the
+// stepping goroutine drains once per window boundary, sequentially in shard
+// order: cross-window merges then happen with no shard ticking and in a
+// deterministic order, which is also where a WindowSync transport serializes
+// remote-bound events. Call after SetWindow/SetWindowSync.
+func (e *Engine) CrossFlusher(sh int) *Flusher {
+	s := &e.shards[sh%len(e.shards)]
+	if e.windowed() {
+		return &s.crossFl
+	}
+	return &s.flusher
+}
+
 // Now returns the current cycle (the cycle about to be, or being, executed).
 func (e *Engine) Now() Cycle { return e.now }
 
-// worker is the persistent loop of one extra shard: tick, report, wait for
-// the global tick barrier, flush, report.
+// worker is the persistent loop of one extra shard. Per-tick mode: tick,
+// report, wait for the global tick barrier, flush, report. Windowed mode
+// (winEnd published past now before the release): free-run the whole window
+// with per-cycle local flushes, then a single report — the window's only
+// barrier.
 func (e *Engine) worker(s *shard) {
 	for now := range s.start {
+		if end := e.winEnd; end > now {
+			e.tickWindowShard(s, now, end)
+			e.phase <- struct{}{}
+			continue
+		}
 		e.tickShard(s, now)
 		e.phase <- struct{}{}
 		<-s.gate
 		e.flushShard(s)
 		e.phase <- struct{}{}
 	}
+}
+
+// tickWindowShard runs one shard through cycles [now,end) with its local
+// flushes in between — no cross-shard interaction: cross wires stage until
+// the boundary drain, and channel padding guarantees nothing staged by a
+// peer shard can arrive before end. s.ticked aggregates over the window.
+func (e *Engine) tickWindowShard(s *shard, now, end Cycle) {
+	ticked := false
+	for t := now; t < end; t++ {
+		e.tickShard(s, t)
+		ticked = ticked || s.ticked
+		e.flushShard(s)
+	}
+	s.ticked = ticked
 }
 
 func (e *Engine) tickShard(s *shard, now Cycle) {
@@ -383,26 +551,26 @@ func (e *Engine) Step() {
 		f(now)
 	}
 	if e.parallel {
-		rest := e.shards[1:]
+		rest := e.shards[e.lo+1 : e.hi]
 		for i := range rest {
 			rest[i].start <- now
 		}
-		e.tickShard(&e.shards[0], now)
+		e.tickShard(&e.shards[e.lo], now)
 		for range rest {
 			<-e.phase
 		}
-		e.runDeferred(now)
+		e.runDeferred(now + 1)
 		for i := range rest {
 			rest[i].gate <- struct{}{}
 		}
-		e.flushShard(&e.shards[0])
+		e.flushShard(&e.shards[e.lo])
 		for range rest {
 			<-e.phase
 		}
 	} else {
-		s := &e.shards[0]
+		s := &e.shards[e.lo]
 		e.tickShard(s, now)
-		e.runDeferred(now)
+		e.runDeferred(now + 1)
 		e.flushShard(s)
 	}
 	e.now++
@@ -420,7 +588,7 @@ func (e *Engine) Step() {
 // steps would have. Bounded by ffEnd so Run(n) still stops on its cycle.
 func (e *Engine) fastForward() {
 	min := e.ffEnd
-	for i := range e.shards {
+	for i := e.lo; i < e.hi; i++ {
 		s := &e.shards[i]
 		if s.ticked {
 			return
@@ -453,16 +621,21 @@ func (e *Engine) Close() {
 	if !e.parallel {
 		return
 	}
-	for i := 1; i < len(e.shards); i++ {
+	for i := e.lo + 1; i < e.hi; i++ {
 		close(e.shards[i].start)
 	}
 }
 
 // Run executes n cycles. Quiescent spans inside the budget may be
 // fast-forwarded (see fastForward); the engine still stops exactly at the
-// budget's end.
+// budget's end. Windowed engines (SetWindow > 1 or SetWindowSync) execute
+// the budget in window units instead of single Steps.
 func (e *Engine) Run(n Cycle) {
 	end := e.now + n
+	if e.windowed() {
+		e.runWindowed(end, nil)
+		return
+	}
 	e.ffEnd = end
 	for e.now < end {
 		e.Step()
@@ -474,9 +647,15 @@ func (e *Engine) Run(n Cycle) {
 // the call. It returns true if done() became true. done is evaluated between
 // cycles, so all components agree on the state it observed; fast-forwarded
 // cycles are state-preserving no-ops, so skipping their done() evaluations
-// cannot change the answer.
+// cannot change the answer. On windowed engines done is evaluated at window
+// boundaries — the same boundary lattice for every {shards x processes}
+// split, so the stopping cycle is split-invariant; under a WindowSync it is
+// evaluated in every process and the run stops when all agree.
 func (e *Engine) RunUntil(done func() bool, max Cycle) bool {
 	end := e.now + max
+	if e.windowed() {
+		return e.runWindowed(end, done)
+	}
 	e.ffEnd = end
 	for e.now < end {
 		if done() {
@@ -487,4 +666,139 @@ func (e *Engine) RunUntil(done func() bool, max Cycle) bool {
 	}
 	e.ffEnd = 0
 	return done()
+}
+
+// runWindowed is the window-mode main loop behind Run and RunUntil: from
+// each boundary T it runs due step hooks, picks the window end E — the next
+// point of the absolute W-aligned lattice, clamped by the budget and by any
+// hook clock waking inside the window — free-runs every owned shard through
+// [T,E) with only per-cycle local flushes, then performs the boundary work
+// with no shard ticking: drain due AtBarrier entries, drain the cross-shard
+// wire flushers (merging staged sends; a WindowSync transport serializes
+// remote-bound ones here), and exchange frames with peer processes. Channel
+// padding makes every cross-shard arrival land at or after the next
+// boundary, so free-running cannot miss an input: the schedule each
+// component observes is bit-identical to per-tick execution.
+//
+// When no owned shard ticked for a whole window, a full rescan of every
+// activity and hook clock yields the earliest future wake; the engine then
+// jumps to that wake's lattice point (floor — the window containing the wake
+// must be ticked). Under a WindowSync the jump uses the global minimum, and
+// the per-frame ticked bit makes "nothing ticked anywhere" detectable by all
+// processes at the same boundary: a shard that ticked nowhere staged no
+// events anywhere, so jumping is as safe as single-process fast-forward.
+func (e *Engine) runWindowed(end Cycle, done func() bool) bool {
+	for _, a := range e.hookClocks {
+		if a == nil {
+			panic("sim: unclocked step hook on a windowed engine (use RegisterStepHookClocked)")
+		}
+	}
+	W := e.window
+	for e.now < end {
+		T := e.now
+		// An idle jump can land exactly on a retained deferred entry's due
+		// boundary (idleScan bounds jumps by deferred dues); release it before
+		// anything observes cycle T, matching the per-tick order where the
+		// barrier drain of cycle due-1 precedes done checks and hooks at due.
+		e.runDeferred(T)
+		if done != nil && e.sync == nil && done() {
+			return true
+		}
+		for i, f := range e.stepHooks {
+			if e.hookClocks[i].wakeAt.Load() <= T {
+				f(T)
+			}
+		}
+		E := T - T%W + W
+		if E > end {
+			E = end
+		}
+		for _, a := range e.hookClocks {
+			if w := a.wakeAt.Load(); w > T && w < E {
+				E = w
+			}
+		}
+		e.tickWindow(T, E)
+		e.runDeferred(E)
+		anyTicked := false
+		for i := e.lo; i < e.hi; i++ {
+			s := &e.shards[i]
+			anyTicked = anyTicked || s.ticked
+			s.crossFl.run()
+		}
+		e.now = E
+		idle := E
+		if !anyTicked {
+			idle = e.idleScan()
+		}
+		if e.sync != nil {
+			ldone := done != nil && done()
+			gdone, gidle := e.sync.AtBoundary(E, ldone, anyTicked, idle)
+			if gdone {
+				return true
+			}
+			idle = gidle
+		}
+		if idle > e.now {
+			j := idle
+			if j != Never {
+				j -= j % W
+			}
+			if j > end {
+				j = end
+			}
+			if j > e.now {
+				e.now = j
+			}
+		}
+	}
+	return done != nil && done()
+}
+
+// tickWindow runs every owned shard through [T,E), in parallel when the
+// engine has workers. The single phase join afterwards is the only barrier
+// of the window.
+func (e *Engine) tickWindow(T, E Cycle) {
+	if e.parallel {
+		e.winEnd = E
+		rest := e.shards[e.lo+1 : e.hi]
+		for i := range rest {
+			rest[i].start <- T
+		}
+		e.tickWindowShard(&e.shards[e.lo], T, E)
+		for range rest {
+			<-e.phase
+		}
+		return
+	}
+	e.tickWindowShard(&e.shards[e.lo], T, E)
+}
+
+// idleScan computes the earliest future wake across every owned component
+// and hook clock — the windowed analog of fastForward's bound, recomputed
+// from scratch because boundary merges may have lowered wake times after the
+// shards' own tick-phase minimums were taken. Only meaningful when no owned
+// shard ticked this window.
+func (e *Engine) idleScan() Cycle {
+	min := Never
+	for i := e.lo; i < e.hi; i++ {
+		s := &e.shards[i]
+		for _, a := range s.acts {
+			if a == nil {
+				return e.now // unclocked ticker: never jump
+			}
+			if w := a.wakeAt.Load(); w < min {
+				min = w
+			}
+		}
+		if len(s.deferred) > 0 && s.deferred[0].due < min {
+			min = s.deferred[0].due
+		}
+	}
+	for _, a := range e.hookClocks {
+		if w := a.wakeAt.Load(); w < min {
+			min = w
+		}
+	}
+	return min
 }

@@ -33,7 +33,7 @@ func TestStepHookAndAtBarrierOrdering(t *testing.T) {
 				t.Errorf("tick at cycle %d saw %d deferred runs; want %d", now, got, 2*now)
 			}
 			ticks.Add(1)
-			e.AtBarrier(sh, func(at Cycle) {
+			e.AtBarrier(sh, now, func(at Cycle) {
 				if at != now {
 					t.Errorf("deferred staged at cycle %d ran with now=%d", now, at)
 				}

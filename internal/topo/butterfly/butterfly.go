@@ -157,8 +157,11 @@ func (f *Fly) build() {
 			for j := 0; j < k; j++ {
 				rNext := f.setDigit(r, n-2-s, j)
 				inDir := f.digit(r, n-2-s)
+				// Inter-stage channels carry the conservative-sync padding
+				// (access channels never cross shards: a node and its stage
+				// 0 / n-1 routers co-locate under the aligned partition).
 				for c := 0; c < D; c++ {
-					ch := router.NewChannel(f.cfg.CPF, 1)
+					ch := router.NewChannelSync(f.cfg.CPF, 1, f.cfg.Iface.SyncWindow())
 					f.routers[s][r].ConnectOut(j*D+c, ch, f.cfg.BufFlits)
 					f.routers[s+1][rNext].ConnectIn(inDir*D+c, ch)
 					f.edges = append(f.edges,
@@ -185,6 +188,10 @@ func (f *Fly) route(stage int, p *packet.Packet, sc []router.Choice) []router.Ch
 
 // Nodes implements topo.Network.
 func (f *Fly) Nodes() int { return f.nodes }
+
+// SyncWindow implements topo.WindowSized: the butterfly pads inter-stage
+// channels for the configured window.
+func (f *Fly) SyncWindow() int { return f.cfg.Iface.SyncWindow() }
 
 // Iface implements topo.Network.
 func (f *Fly) Iface(n int) router.Port { return f.ifaces[n] }

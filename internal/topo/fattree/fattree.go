@@ -257,11 +257,14 @@ func (t *Tree) build() {
 				hi := t.routers[l+1][wUp]
 				hiPort := t.digit(w, l) // down port on the parent selects digit l
 				loKey, hiKey := l*t.perLevel+w, (l+1)*t.perLevel+wUp
+				// Inter-level channels carry the conservative-sync padding
+				// (access channels never cross shards: a node and its leaf
+				// router co-locate under the aligned partition).
 				for cl := 0; cl < t.classes; cl++ {
-					up := router.NewChannel(t.cpf, 1)
+					up := router.NewChannelSync(t.cpf, 1, t.cfg.Iface.SyncWindow())
 					lo.ConnectOut(t.phys(k+m, packet.Class(cl)), up, t.cfg.BufFlits)
 					hi.ConnectIn(t.phys(hiPort, packet.Class(cl)), up)
-					down := router.NewChannel(t.cpf, 1)
+					down := router.NewChannelSync(t.cpf, 1, t.cfg.Iface.SyncWindow())
 					hi.ConnectOut(t.phys(hiPort, packet.Class(cl)), down, t.cfg.BufFlits)
 					lo.ConnectIn(t.phys(k+m, packet.Class(cl)), down)
 					t.edges = append(t.edges,
@@ -305,6 +308,10 @@ func (t *Tree) nodeDigit(n, i int) int {
 
 // Nodes implements topo.Network.
 func (t *Tree) Nodes() int { return t.nodes }
+
+// SyncWindow implements topo.WindowSized: the tree pads inter-level channels
+// for the configured window.
+func (t *Tree) SyncWindow() int { return t.cfg.Iface.SyncWindow() }
 
 // Iface implements topo.Network.
 func (t *Tree) Iface(n int) router.Port { return t.ifaces[n] }

@@ -142,19 +142,22 @@ func (m *Mesh) build() {
 		m.routers[n].ConnectOut(0, down, ifBuf)
 		m.ifaces[n].ConnectIn(down)
 	}
+	// Router-router channels carry the conservative-sync padding (access
+	// channels above never cross shards: a node and its router co-locate).
+	w := m.cfg.Iface.SyncWindow()
 	for n := 0; n < m.nodes; n++ {
 		for d := range m.cfg.Dims {
 			c := m.coord(n, d)
 			if c+1 < m.cfg.Dims[d] || m.cfg.Torus {
 				nb := n + ((c+1)%m.cfg.Dims[d]-c)*m.strides[d]
-				ch := router.NewChannel(m.cfg.CPF, 1)
+				ch := router.NewChannelSync(m.cfg.CPF, 1, w)
 				m.routers[n].ConnectOut(plusPort(d), ch, m.cfg.BufFlits)
 				m.routers[nb].ConnectIn(minusPort(d), ch)
 				m.edges = append(m.edges, topo.Edge{Ch: ch, From: n, To: nb})
 			}
 			if c > 0 || m.cfg.Torus {
 				nb := n + ((c-1+m.cfg.Dims[d])%m.cfg.Dims[d]-c)*m.strides[d]
-				ch := router.NewChannel(m.cfg.CPF, 1)
+				ch := router.NewChannelSync(m.cfg.CPF, 1, w)
 				m.routers[n].ConnectOut(minusPort(d), ch, m.cfg.BufFlits)
 				m.routers[nb].ConnectIn(plusPort(d), ch)
 				m.edges = append(m.edges, topo.Edge{Ch: ch, From: n, To: nb})
@@ -162,6 +165,10 @@ func (m *Mesh) build() {
 		}
 	}
 }
+
+// SyncWindow implements topo.WindowSized: the mesh pads router-router
+// channels for the configured window.
+func (m *Mesh) SyncWindow() int { return m.cfg.Iface.SyncWindow() }
 
 // route implements dimension-order routing with the torus dateline VC rule,
 // or west-first minimal adaptive routing when configured.

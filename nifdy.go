@@ -249,3 +249,26 @@ type (
 // FuzzSweep runs randomized cross-configuration simulations with every
 // invariant monitor armed, diffing sharded runs against the serial engine.
 var FuzzSweep = harness.FuzzSweep
+
+// Distributed execution (internal/dist + harness): multi-process simulation
+// over a staged socket/shared-memory transport with conservative time-window
+// synchronization. A launcher re-executes its own binary as workers; any main
+// embedding these entry points must call DistWorkerMain first (before flag
+// parsing) and exit when it reports true. See DESIGN.md §9.
+type (
+	// DistSpec describes a simulation to the distributed workers.
+	DistSpec = harness.DistSpec
+)
+
+var (
+	// DistWorkerMain runs the worker protocol when this process is a
+	// re-exec'd distributed worker; call first in main, exit on true.
+	DistWorkerMain = harness.DistWorkerMain
+	// DistTrace runs a spec over N worker processes through the golden-trace
+	// schedule and returns the assembled state trace (bit-comparable to a
+	// single-process run of the same spec).
+	DistTrace = harness.DistTrace
+	// DistRunToDone runs a spec over N worker processes to completion with
+	// invariant monitors armed, returning merged stats.
+	DistRunToDone = harness.DistRunToDone
+)

@@ -1,0 +1,36 @@
+#!/bin/sh
+# benchdist.sh — multi-process engine: bit-identity everywhere, speedup on
+# multi-core.
+#
+# Runs the dist experiment through nifdy-bench: the same mesh workload over
+# 1 and 2 (and, on hosts with at least 4 CPUs, 4) worker processes, one
+# engine shard per worker, connected by the staged socket/shared-memory
+# transport. The binary itself exits nonzero unless every run's full state
+# trace is byte-identical, so the determinism half of the gate holds on any
+# host — single-core included.
+#
+# The wall-clock half (the 2-process run must not be slower than the
+# 1-process run) is only meaningful with at least 2 CPUs; below that the
+# workers time-share one core and the comparison measures nothing but
+# transport overhead, so the script reports the timings and skips it.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "benchdist: multi-process runs (bit-identity asserted by the binary)..."
+go run ./cmd/nifdy-bench -exp dist -json "$tmp/dist.json"
+
+jq -r -n --slurpfile d "$tmp/dist.json" '
+  def wall(m): $d[0].experiments | map(select(.name == "dist" and .mode == m)) | .[0].ns_per_op;
+  (wall("procs=1")) as $p1 | (wall("procs=2")) as $p2 | ($d[0].numcpu) as $cpus |
+  "dist procs=1: \($p1/1e9 * 100 | round / 100)s",
+  "dist procs=2: \($p2/1e9 * 100 | round / 100)s (NumCPU=\($cpus))",
+  (if $cpus < 2 then
+    "benchdist: only \($cpus) CPU available; skipping the speedup assertion"
+  elif $p2 > $p1 then
+    "FAIL: 2-process run is slower than 1-process on a \($cpus)-CPU host" | halt_error(1)
+  else
+    "speedup: \($p1/$p2 * 100 | round / 100)x"
+  end)
+'

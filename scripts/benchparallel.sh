@@ -1,5 +1,6 @@
 #!/bin/sh
-# benchparallel.sh [SHARDS] — measure the intra-simulation parallel speedup.
+# benchparallel.sh [SHARDS] [WINDOW] — measure the intra-simulation
+# parallel speedup.
 #
 # Runs the Figure 2 heavy-traffic experiment twice through nifdy-bench: once
 # serial (-shards 1) and once sharded (-shards SHARDS, default
@@ -7,12 +8,18 @@
 # nonzero if the multi-shard run is slower than serial — sharding must never
 # be a pessimization on a multi-core host.
 #
+# Both legs run with the same conservative sync window (default W=4, the
+# regime where the sharded engine's barrier fires once per window instead
+# of per tick). W is a model parameter, so the two legs still simulate the
+# identical model — only the shard count, and thus the wall clock, differs.
+#
 # On a single-core host the comparison is meaningless (both runs serialize
 # on one CPU and the sharded run only pays synchronization overhead), so the
 # script prints a warning and exits 0 without comparing.
 set -eu
 
 shards=${1:-0}
+window=${2:-4}
 ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 case $ncpu in *[!0-9]*|'') ncpu=1 ;; esac
 if [ "$ncpu" -le 1 ]; then
@@ -23,17 +30,17 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "benchparallel: serial run (-shards 1)..."
-go run ./cmd/nifdy-bench -exp f2 -shards 1 -json "$tmp/serial.json" > /dev/null
-echo "benchparallel: sharded run (-shards $shards)..."
-go run ./cmd/nifdy-bench -exp f2 -shards "$shards" -json "$tmp/sharded.json" > /dev/null
+echo "benchparallel: serial run (-shards 1 -window $window)..."
+go run ./cmd/nifdy-bench -exp f2 -shards 1 -window "$window" -json "$tmp/serial.json" > /dev/null
+echo "benchparallel: sharded run (-shards $shards -window $window)..."
+go run ./cmd/nifdy-bench -exp f2 -shards "$shards" -window "$window" -json "$tmp/sharded.json" > /dev/null
 
 jq -r -n --slurpfile s "$tmp/serial.json" --slurpfile p "$tmp/sharded.json" '
   ($s[0].experiments | map(select(.name == "f2")) | .[0].ns_per_op) as $serial |
   ($p[0].experiments | map(select(.name == "f2")) | .[0].ns_per_op) as $sharded |
-  ($p[0].shards) as $n | ($p[0].gomaxprocs) as $procs |
+  ($p[0].shards) as $n | ($p[0].gomaxprocs) as $procs | ($p[0].numcpu) as $cpus |
   "f2 serial:  \($serial/1e9 * 100 | round / 100)s",
-  "f2 shards=\($n) (GOMAXPROCS=\($procs)): \($sharded/1e9 * 100 | round / 100)s",
+  "f2 shards=\($n) (GOMAXPROCS=\($procs), NumCPU=\($cpus)): \($sharded/1e9 * 100 | round / 100)s",
   "speedup: \($serial/$sharded * 100 | round / 100)x",
   (if $sharded > $serial then
     "FAIL: multi-shard run is slower than serial" | halt_error(1)
