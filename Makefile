@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale baseline clean
+.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale bench-locality profdiff baseline clean
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,19 @@ bench-dist:
 # Override the floor with: make bench-scale FLOOR=50000000
 bench-scale:
 	./scripts/benchscale.sh $(FLOOR)
+
+# bench-locality gates the SoA arena + active-set scheduling work
+# (DESIGN.md §10): BenchmarkIdleFraction's step cost must be sub-linear in
+# total component count, and BenchmarkFigure2Heavy must beat the committed
+# pre-SoA baseline (BENCH_2026-08-06_zeroalloc.json) by at least 20%,
+# via benchdiff.sh with an inverted (negative) regression threshold.
+bench-locality:
+	./scripts/benchlocality.sh
+
+# profdiff prints the top-N flat-cost changes between two CPU profiles of
+# the same workload: make profdiff OLD=before.prof NEW=after.prof
+profdiff:
+	./scripts/profdiff.sh $(OLD) $(NEW) $(or $(N),15)
 
 # baseline regenerates the committed BENCH_<date>.json perf/metrics
 # baseline from the reduced-scale experiment suite.

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// arena: structure-of-arrays view discipline.
+//
+// The SoA refactor (DESIGN.md §10) rehomes per-cycle hot state — VC rings,
+// credit counters, owner tables, wire event regions — into flat per-shard
+// arenas, with the original component structs becoming views whose slices
+// alias arena slots. Two contracts keep that sound:
+//
+//   - A view's arena-backed fields are mutated only through the view's own
+//     methods (and New* constructors, which run before binding). An outside
+//     write could hold a stale pre-bind slice or clobber a neighbouring
+//     component's carve.
+//
+//   - The dense component IDs passed to BindArena/MarkID come from an
+//     allocator (topo.ArenaIDs, sim.Flusher.BindID), never from integer
+//     literals: a literal compiles today and silently shifts every later
+//     carve when registration order changes.
+//
+// Detection is structural so future arena views are covered automatically:
+// an "arena view" is any named struct with a BindArena method taking two
+// parameters and returning nothing.
+func init() {
+	Register(&Rule{
+		Name:  "arena",
+		Doc:   "arena-view state mutated outside its own methods, or a literal passed where an allocator-issued dense ID is required",
+		Match: tickPathPackage,
+		Run:   runArena,
+	})
+}
+
+// isArenaView reports whether t (after pointer stripping) is a named struct
+// type carrying a BindArena(x, y) method with no results.
+func isArenaView(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "BindArena" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 2 && sig.Results().Len() == 0 {
+			return named, true
+		}
+	}
+	return nil, false
+}
+
+func runArena(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverType(p, fd)
+			constructor := strings.HasPrefix(fd.Name.Name, "New")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						p.checkArenaWrite(lhs, recv, constructor)
+					}
+				case *ast.IncDecStmt:
+					p.checkArenaWrite(n.X, recv, constructor)
+				case *ast.CallExpr:
+					p.checkLiteralID(n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkArenaWrite flags lhs when it denotes (an element of) a field of an
+// arena view and the enclosing function is neither a method of that view
+// nor a New* constructor.
+func (p *Pass) checkArenaWrite(lhs ast.Expr, recv *types.Named, constructor bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := p.Pkg.Info.TypeOf(sel.X)
+	if base == nil {
+		return
+	}
+	named, view := isArenaView(base)
+	if !view {
+		return
+	}
+	if recv != nil && origin(recv) == origin(named) {
+		return // the view's own methods are the sanctioned mutators
+	}
+	if constructor {
+		return // New* may initialize fields before binding
+	}
+	p.Reportf(sel.Pos(),
+		"direct write to arena-view field %s.%s outside %s's methods: arena-backed state is mutated only through the owning view",
+		types.ExprString(sel.X), sel.Sel.Name, named.Obj().Name())
+}
+
+// checkLiteralID flags integer literals passed where an allocator-issued
+// dense ID is required: the id argument of BindArena (second) and of MarkID
+// (first).
+func (p *Pass) checkLiteralID(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var arg ast.Expr
+	switch {
+	case sel.Sel.Name == "BindArena" && len(call.Args) == 2:
+		arg = call.Args[1]
+	case sel.Sel.Name == "MarkID" && len(call.Args) == 1:
+		arg = call.Args[0]
+	default:
+		return
+	}
+	if !literalInt(arg) {
+		return
+	}
+	p.Reportf(arg.Pos(),
+		"literal dense ID passed to %s: component IDs must come from the allocator (topo.ArenaIDs.Next / sim.Flusher.BindID), not literals",
+		sel.Sel.Name)
+}
+
+// literalInt reports whether e is an integer literal, possibly parenthesized,
+// unary-signed, or converted (e.g. int32(3)).
+func literalInt(e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.CallExpr:
+			// A conversion like int32(3) has exactly one argument; peeling it
+			// is safe because a real call returning int would not be a literal.
+			if len(v.Args) != 1 {
+				return false
+			}
+			e = v.Args[0]
+		case *ast.BasicLit:
+			return v.Kind == token.INT
+		default:
+			return false
+		}
+	}
+}

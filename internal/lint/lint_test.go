@@ -109,6 +109,7 @@ func TestGoldenWallclock(t *testing.T)  { runGolden(t, "wallclock") }
 func TestGoldenHotalloc(t *testing.T)   { runGolden(t, "hotalloc") }
 func TestGoldenLatchphase(t *testing.T) { runGolden(t, "latchphase") }
 func TestGoldenPoolsafe(t *testing.T)   { runGolden(t, "poolsafe") }
+func TestGoldenArena(t *testing.T)      { runGolden(t, "arena") }
 
 // --- suppression audit ------------------------------------------------------
 
@@ -212,7 +213,7 @@ func TestAllowCovers(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	rs := Rules()
-	want := []string{"hotalloc", "latchphase", "mapiter", "poolsafe", "wallclock"}
+	want := []string{"arena", "hotalloc", "latchphase", "mapiter", "poolsafe", "wallclock"}
 	if len(rs) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rs), len(want))
 	}

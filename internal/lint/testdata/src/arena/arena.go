@@ -1,0 +1,74 @@
+// Package arena is the golden-diagnostic fixture for the arena rule:
+// arena-view state written outside the view's own methods fires, as does a
+// literal dense ID at a BindArena or MarkID call site; the view's own
+// methods, constructors, and allocator-issued IDs stay silent.
+package arena
+
+// arenaStore stands in for router.Arena.
+type arenaStore struct {
+	slots []int
+	next  int32
+}
+
+// view is arena-shaped: a named struct with a BindArena(x, y) method. Its
+// fields may be written only by its own methods and New* constructors.
+type view struct {
+	credits []int
+	cursor  int
+}
+
+// NewView may initialize fields before binding.
+func NewView(n int) *view {
+	v := &view{}
+	v.credits = make([]int, n)
+	return v
+}
+
+// BindArena and Advance are the view's own methods: sanctioned mutators.
+func (v *view) BindArena(a *arenaStore, id int32) {
+	if id != a.next {
+		panic("out of order")
+	}
+	a.next++
+	v.credits = a.slots[:len(v.credits)]
+}
+
+func (v *view) Advance() { v.cursor++ }
+
+// ids stands in for the topo allocator.
+type ids struct{ next int32 }
+
+func (i *ids) Next() int32 {
+	id := i.next
+	i.next++
+	return id
+}
+
+// flusher stands in for sim.Flusher's dense-ID marking.
+type flusher struct{ dirty []int32 }
+
+func (f *flusher) MarkID(id int32) { f.dirty = append(f.dirty, id) }
+
+// holder drives a view from outside and demonstrates every violation shape.
+type holder struct {
+	v  *view
+	fl *flusher
+	id int32
+}
+
+func (h *holder) Tick(now int64) {
+	h.v.Advance()         // the sanctioned API: silent
+	h.v.cursor = 0        // want `direct write to arena-view field h\.v\.cursor outside view's methods`
+	h.v.credits[0] = 1    // want `direct write to arena-view field h\.v\.credits outside view's methods`
+	h.v.cursor++          // want `direct write to arena-view field h\.v\.cursor outside view's methods`
+	h.fl.MarkID(h.id)     // allocator-issued ID: silent
+	h.fl.MarkID(3)        // want `literal dense ID passed to MarkID`
+	h.fl.MarkID(int32(4)) // want `literal dense ID passed to MarkID`
+}
+
+func bindAll(a *arenaStore, ids *ids, views []*view) {
+	for _, v := range views {
+		v.BindArena(a, ids.Next()) // allocator-issued ID: silent
+	}
+	views[0].BindArena(a, 0) // want `literal dense ID passed to BindArena`
+}

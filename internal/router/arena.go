@@ -1,0 +1,269 @@
+package router
+
+import (
+	"nifdy/internal/link"
+	"nifdy/internal/packet"
+)
+
+// ArenaSizer accumulates the arena-slot requirements of a shard's components
+// before the backing arrays are allocated: each component's ArenaSize adds
+// its needs, then NewArena allocates once and each component's BindArena
+// carves its views in the same order. Mirrored sizing and binding walks keep
+// the carve exact; Arena panics on any mismatch.
+type ArenaSizer struct {
+	Flits   int // input-VC ring slots + iface ejection slots
+	Credits int // credit counters (router out-ports, iface inject side)
+	Owners  int // downstream-VC owner pointers
+	Reqs    int // output-port requester scratch
+	VCs     int // input vcState records
+	Bools   int // per-input-port one-flit-per-cycle flags
+	FlitEv  int // latched flit-wire event slots (consumer side)
+	CredEv  int // latched credit-wire event slots (consumer side)
+}
+
+// Arena is one shard's structure-of-arrays backing store for the flit
+// engine's per-cycle hot state: every router input-VC ring, credit counter,
+// owner table, requester list, and consumer-side wire event region of the
+// shard lives in one of these flat arrays, carved into per-component views
+// at registration. The Router/Iface structs stay the API — after BindArena
+// they are thin views whose hot slices alias arena slots — so NICs,
+// monitors, stats, sharding, and the dist transport are unaffected.
+//
+// Components are identified by dense per-shard IDs handed out by the topo
+// package's allocator at network registration; the arena records the next
+// expected ID so a stray literal (instead of an allocator-issued ID) fails
+// fast. The nifdy-lint `arena` rule enforces both properties statically:
+// arena-backed fields are mutated only through their owning view's methods,
+// and BindArena IDs come from the allocator, never from literals.
+type Arena struct {
+	flits   []packet.Flit
+	credits []int
+	owners  []*packet.Packet
+	reqs    []requester
+	vcs     []vcState
+	bools   []bool
+	flitEv  link.EventArena[packet.Flit]
+	credEv  link.EventArena[Credit]
+
+	uF, uC, uO, uR, uV, uB int
+	nextID                 int32
+}
+
+// NewArena allocates a shard arena with the accumulated sizes.
+func NewArena(s ArenaSizer) *Arena {
+	a := &Arena{
+		flits:   make([]packet.Flit, s.Flits),
+		credits: make([]int, s.Credits),
+		owners:  make([]*packet.Packet, s.Owners),
+		reqs:    make([]requester, s.Reqs),
+		vcs:     make([]vcState, s.VCs),
+		bools:   make([]bool, s.Bools),
+	}
+	a.flitEv.Grow(s.FlitEv)
+	a.flitEv.Alloc()
+	a.credEv.Grow(s.CredEv)
+	a.credEv.Alloc()
+	return a
+}
+
+// claim checks off one dense component ID. IDs must arrive in allocation
+// order — the topo allocator and the binding walk are the same loop.
+func (a *Arena) claim(id int32) {
+	if id != a.nextID {
+		panic("router: arena bind out of ID order (use the topo allocator)")
+	}
+	a.nextID++
+}
+
+func (a *Arena) flitSlots(n int) []packet.Flit {
+	if a.uF+n > len(a.flits) {
+		panic("router: arena flit overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.flits[a.uF : a.uF+n : a.uF+n]
+	a.uF += n
+	return s
+}
+
+func (a *Arena) creditSlots(n int) []int {
+	if a.uC+n > len(a.credits) {
+		panic("router: arena credit overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.credits[a.uC : a.uC+n : a.uC+n]
+	a.uC += n
+	return s
+}
+
+func (a *Arena) ownerSlots(n int) []*packet.Packet {
+	if a.uO+n > len(a.owners) {
+		panic("router: arena owner overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.owners[a.uO : a.uO+n : a.uO+n]
+	a.uO += n
+	return s
+}
+
+func (a *Arena) reqSlots(n int) []requester {
+	if a.uR+n > len(a.reqs) {
+		panic("router: arena requester overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.reqs[a.uR : a.uR : a.uR+n]
+	a.uR += n
+	return s
+}
+
+func (a *Arena) vcSlots(n int) []vcState {
+	if a.uV+n > len(a.vcs) {
+		panic("router: arena vcState overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.vcs[a.uV : a.uV+n : a.uV+n]
+	a.uV += n
+	return s
+}
+
+func (a *Arena) boolSlots(n int) []bool {
+	if a.uB+n > len(a.bools) {
+		panic("router: arena bool overflow (ArenaSize/BindArena mismatch)")
+	}
+	s := a.bools[a.uB : a.uB+n : a.uB+n]
+	a.uB += n
+	return s
+}
+
+// ArenaSize implements the sizing half of arena binding for a router: it
+// accumulates the router's hot-state requirements, including the
+// consumer-side event regions of its input flit wires and output credit
+// wires (the credit protocol bounds both by the granted buffer depth).
+func (r *Router) ArenaSize(s *ArenaSizer) {
+	nvc := packet.NumClasses * r.cfg.VCs
+	s.VCs += len(r.in) * nvc
+	s.Flits += len(r.in) * nvc * r.cfg.BufFlits
+	s.Bools += len(r.in)
+	for i := range r.in {
+		if r.in[i].ch != nil {
+			s.FlitEv += nvc * r.cfg.BufFlits
+		}
+	}
+	for o := range r.out {
+		op := &r.out[o]
+		if op.ch == nil {
+			continue
+		}
+		s.Credits += nvc
+		s.Owners += nvc
+		s.Reqs += len(r.in) * nvc
+		s.CredEv += nvc * op.initial
+	}
+}
+
+// BindArena implements the binding half: the router's hot slices are
+// re-carved from a and their current contents copied over, making the
+// struct a view over arena slots. id must be the dense component ID issued
+// by the topo allocator for this bind. Binding happens at network
+// registration, before the first Step.
+func (r *Router) BindArena(a *Arena, id int32) {
+	a.claim(id)
+	nvc := packet.NumClasses * r.cfg.VCs
+	for i := range r.in {
+		ip := &r.in[i]
+		vcs := a.vcSlots(nvc)
+		copy(vcs, ip.vcs)
+		for v := range vcs {
+			buf := a.flitSlots(r.cfg.BufFlits)
+			copy(buf, vcs[v].buf)
+			vcs[v].buf = buf
+		}
+		ip.vcs = vcs
+		if ip.ch != nil {
+			ip.ch.Flits.BindEvents(&a.flitEv, nvc*r.cfg.BufFlits)
+		}
+	}
+	inUsed := a.boolSlots(len(r.in))
+	copy(inUsed, r.inUsed)
+	r.inUsed = inUsed
+	for o := range r.out {
+		op := &r.out[o]
+		if op.ch == nil {
+			continue
+		}
+		credits := a.creditSlots(nvc)
+		copy(credits, op.credits)
+		op.credits = credits
+		owner := a.ownerSlots(nvc)
+		copy(owner, op.owner)
+		op.owner = owner
+		reqs := a.reqSlots(len(r.in) * nvc)
+		reqs = append(reqs, op.reqs...)
+		op.reqs = reqs
+		a.credEv.Bind(op.ch.Credits, nvc*op.initial)
+	}
+}
+
+// ArenaSize implements the sizing half of arena binding for an iface: the
+// ejection rings, credit counters, and the consumer-side event regions of
+// its ejection flit wires and injection credit wires.
+func (f *Iface) ArenaSize(s *ArenaSizer) {
+	nvc := packet.NumClasses * f.cfg.VCs
+	s.Flits += nvc * f.cfg.BufFlits
+	s.Credits += 2 * nvc // credits + initCred
+	for c := 0; c < packet.NumClasses; c++ {
+		if ch := f.inCh[c]; ch != nil && (c == 0 || ch != f.inCh[c-1]) {
+			s.FlitEv += f.sharedClasses(f.inCh[:], ch) * f.cfg.VCs * f.cfg.BufFlits
+		}
+		if ch := f.outCh[c]; ch != nil && (c == 0 || ch != f.outCh[c-1]) {
+			s.CredEv += f.grantFor(ch)
+		}
+	}
+}
+
+// sharedClasses counts how many classes route over ch (1 for per-class
+// channels, NumClasses for a shared one).
+func (f *Iface) sharedClasses(chs []*Channel, ch *Channel) int {
+	n := 0
+	for _, c := range chs {
+		if c == ch {
+			n++
+		}
+	}
+	return n
+}
+
+// grantFor sums the initial credit grant over the classes injected on ch —
+// the bound on credit events in flight back to the iface on that channel.
+func (f *Iface) grantFor(ch *Channel) int {
+	total := 0
+	for c := 0; c < packet.NumClasses; c++ {
+		if f.outCh[c] != ch {
+			continue
+		}
+		base := c * f.cfg.VCs
+		for v := 0; v < f.cfg.VCs; v++ {
+			total += f.initCred[base+v]
+		}
+	}
+	return total
+}
+
+// BindArena implements the binding half for an iface (see Router.BindArena).
+func (f *Iface) BindArena(a *Arena, id int32) {
+	a.claim(id)
+	nvc := packet.NumClasses * f.cfg.VCs
+	for i := range f.eject {
+		buf := a.flitSlots(f.cfg.BufFlits)
+		n := copy(buf, f.eject[i].q)
+		f.eject[i].q = buf[:n]
+	}
+	credits := a.creditSlots(nvc)
+	copy(credits, f.credits)
+	f.credits = credits
+	initCred := a.creditSlots(nvc)
+	copy(initCred, f.initCred)
+	f.initCred = initCred
+	for c := 0; c < packet.NumClasses; c++ {
+		if ch := f.inCh[c]; ch != nil && (c == 0 || ch != f.inCh[c-1]) {
+			ch.Flits.BindEvents(&a.flitEv, f.sharedClasses(f.inCh[:], ch)*f.cfg.VCs*f.cfg.BufFlits)
+		}
+		if ch := f.outCh[c]; ch != nil && (c == 0 || ch != f.outCh[c-1]) {
+			a.credEv.Bind(ch.Credits, f.grantFor(ch))
+		}
+	}
+}

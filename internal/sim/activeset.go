@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// activeSet is one shard's tick worklist: the set of component indices the
+// scheduler must visit this cycle, replacing the full per-component sweep.
+// A component leaves the set when its Tick parks it with Sleep(Never) and
+// re-enters only when a wake edge lands on it (Activity.WakeAt enqueues the
+// index), so a fully quiescent region costs zero instructions per cycle —
+// not even the skipped-compare per component the old sweep paid.
+//
+// Layout and ownership:
+//
+//   - active is the sorted list of candidate indices swept every cycle. It is
+//     owned by the shard's ticking goroutine and contains every component
+//     whose queued flag is set except those parked in pend/late/hold.
+//   - pend is the wake mailbox: producers (Activity.WakeAt after a successful
+//     queued CAS) claim a slot with an atomic counter and write the index.
+//     Producers run either on the shard's own goroutine during the tick
+//     phase, or on any goroutine during flush phases and window-boundary
+//     drains — never concurrently with the sweep's drain, because the
+//     engine's phase barriers separate tick phases from flush phases
+//     globally. The barrier channels also give the sweep's reads of pend a
+//     happens-before edge over all flush-phase writes.
+//   - late is a min-heap of indices woken *during* the sweep for the current
+//     cycle that lie ahead of the sweep cursor: visit-time semantics say a
+//     same-cycle wake posted by component i reaches component j this cycle
+//     iff j ticks after i, and the heap merges exactly those j into the
+//     in-order visit stream.
+//   - hold carries mid-sweep wakes that must wait for the next cycle (index
+//     behind the cursor, or wake time in the future); they stay queued and
+//     merge into the next sweep.
+//
+// The queued flag (on Activity) is the dedup invariant: an index is in
+// exactly one of active/pend/late/hold while queued, and a component with
+// queued=false always has wakeAt == Never, so no wake can be lost.
+type activeSet struct {
+	pend []int32
+	cnt  atomic.Int32
+	head int32
+
+	active []int32
+	next   []int32 // double buffer: the sweep emits survivors here
+	newly  []int32 // scratch: wakes drained at cycle start, then sorted
+	late   []int32 // min-heap of same-cycle wakes ahead of the sweep cursor
+	hold   []int32 // mid-sweep wakes deferred to the next cycle
+}
+
+// register adds component idx to the set (initially awake, matching the
+// Activity zero value) and links a, when non-nil, for wake enqueueing.
+// Registration happens between Steps, on the stepping goroutine.
+func (as *activeSet) register(idx int32, a *Activity) {
+	as.active = append(as.active, idx)
+	// Two mailbox slots per component bound the enqueue count between two
+	// drains: every enqueue needs a false→true edge of the queued flag, and
+	// a component's flag can fall at most once per cycle (in its own Tick).
+	as.pend = append(as.pend, 0, 0)
+	if a != nil {
+		a.set = as
+		a.idx = idx
+		a.queued.Store(true)
+	}
+}
+
+// enqueue claims a mailbox slot for idx. Callers hold the queued flag (they
+// won its false→true CAS), which both dedups and bounds slot usage.
+func (as *activeSet) enqueue(idx int32) {
+	i := as.cnt.Add(1) - 1
+	if int(i) >= len(as.pend) {
+		panic("sim: active-set wake mailbox overflow (queued invariant broken)")
+	}
+	as.pend[i] = idx
+}
+
+// sweep runs one cycle of active-set scheduling: drain the mailbox, merge
+// the wakes with the standing active list in index order, Tick every due
+// component, and emit the survivors as the next cycle's active list. It
+// reports whether any Tick ran and the earliest wake among skipped
+// components (the fastForward inputs, exactly as the full sweep computed
+// them).
+//
+// Worklist growth (newly/late/hold/next) is bounded by the shard's component
+// count, and all four buffers are reused across cycles, so the sweep is
+// allocation-free in steady state.
+func (as *activeSet) sweep(tickers []Ticker, acts []*Activity, now Cycle) (ticked bool, idle Cycle) {
+	// Collect wakes parked since the last sweep: holdovers classified
+	// next-cycle mid-sweep, then everything enqueued from flush phases,
+	// boundary drains, and pre-tick step hooks. No producer runs while this
+	// drain resets the mailbox (the engine has not released the tick phase's
+	// own components yet, and cross-shard producers only run between phases).
+	newly := append(as.newly[:0], as.hold...)
+	as.hold = as.hold[:0]
+	n := as.cnt.Load()
+	for i := as.head; i < n; i++ {
+		newly = append(newly, as.pend[i])
+	}
+	as.head = 0
+	as.cnt.Store(0)
+	slices.Sort(newly)
+	as.newly = newly
+
+	active := as.active
+	out := as.next[:0]
+	idle = Never
+	ai, ni := 0, 0
+	for {
+		// Visit the smallest index among the three in-order streams, which
+		// reproduces the registration-order schedule of the full sweep.
+		idx := int32(0)
+		src := -1
+		if ai < len(active) {
+			idx, src = active[ai], 0
+		}
+		if ni < len(newly) && (src < 0 || newly[ni] < idx) {
+			idx, src = newly[ni], 1
+		}
+		if len(as.late) > 0 && (src < 0 || as.late[0] < idx) {
+			idx, src = as.late[0], 2
+		}
+		switch src {
+		case -1:
+			as.active, as.next = out, active
+			return ticked, idle
+		case 0:
+			ai++
+		case 1:
+			ni++
+		case 2:
+			latePop(&as.late)
+		}
+		a := acts[idx]
+		if a != nil {
+			if w := a.wakeAt.Load(); w > now {
+				if w < idle {
+					idle = w
+				}
+				out = append(out, idx)
+				continue
+			}
+		}
+		tickers[idx].Tick(now)
+		ticked = true
+		if a != nil && a.wakeAt.Load() == Never {
+			// Parked until an explicit wake: leave the set entirely. The
+			// store cannot race a producer — none runs during the tick
+			// phase except this goroutine, which is here.
+			a.queued.Store(false)
+		} else {
+			out = append(out, idx)
+		}
+		// Classify wakes the Tick just posted: an index ahead of the cursor
+		// whose wake is due now ticks this cycle (the full sweep would read
+		// its wakeAt later in the same pass); everything else holds to the
+		// next cycle (the full sweep already passed it).
+		if m := as.cnt.Load(); m > as.head {
+			for ; as.head < m; as.head++ {
+				widx := as.pend[as.head]
+				if widx > idx && acts[widx].wakeAt.Load() <= now {
+					latePush(&as.late, widx)
+				} else {
+					as.hold = append(as.hold, widx)
+				}
+			}
+		}
+	}
+}
+
+// latePush inserts v into the min-heap.
+func latePush(h *[]int32, v int32) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+// latePop removes and returns the heap minimum.
+func latePop(h *[]int32) int32 {
+	s := *h
+	v := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l] < s[m] {
+			m = l
+		}
+		if r < n && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return v
+}

@@ -27,17 +27,23 @@
 //
 //   - Quiescence skipping. A Ticker that also implements IdleTicker exposes
 //     an Activity — a wake-time latch. The scheduler skips any component
-//     whose Activity says it is asleep. The protocol invariant is that a
-//     component may only sleep while its Tick is a provable no-op, and must
-//     be woken (Activity.WakeAt) no later than the cycle any of its inputs
-//     can change; link.Wire drives those wake edges automatically for
-//     observed wires. Under that invariant skipping is bit-identical to
-//     ticking every cycle, which the golden determinism tests in
-//     internal/harness enforce on full experiment workloads.
+//     whose Activity says it is asleep, and a component parked with
+//     Sleep(Never) leaves its shard's active-set worklist entirely
+//     (activeset.go): it costs zero instructions per cycle until a wake
+//     edge (Activity.WakeAt) re-enqueues it. The protocol invariant is that
+//     a component may only sleep while its Tick is a provable no-op, and
+//     must be woken no later than the cycle any of its inputs can change;
+//     link.Wire drives those wake edges automatically for observed wires.
+//     Under that invariant skipping is bit-identical to ticking every
+//     cycle, which the golden determinism tests in internal/harness enforce
+//     on full experiment workloads.
 //
 //   - Dirty latch flushing. Latches registered with RegisterLatch are walked
 //     every cycle (sharded across the workers); latches bound to a shard's
-//     Flusher are walked only on cycles in which they were actually written.
+//     Flusher are walked only on cycles in which they were actually written,
+//     and the production wires/queues mark themselves by dense int32 ID
+//     (BindID/MarkID) so the hot marking path appends an integer, not an
+//     interface value.
 //
 // Shard discipline: components in different shards must not share mutable
 // non-latched state. A component and every writer into its input wires must
@@ -94,6 +100,17 @@ func (f TickFunc) Tick(now Cycle) { f(now) }
 // cycle. The zero value is awake.
 type Activity struct {
 	wakeAt atomic.Int64
+
+	// Active-set linkage, installed by RegisterSharded: set/idx identify the
+	// owning shard's worklist slot and queued is the membership dedup flag.
+	// The invariant is queued == "idx is in the worklist (active, mailbox,
+	// late, or hold)", and queued=false implies wakeAt == Never — a parked
+	// component re-enters the worklist through the first WakeAt that lowers
+	// its wake time. Unregistered activities (hook clocks, standalone tests)
+	// have a nil set and skip the enqueue entirely.
+	set    *activeSet
+	idx    int32
+	queued atomic.Bool
 }
 
 // WakeAt lowers the wake time to at most at: the component will run at cycle
@@ -105,8 +122,17 @@ func (a *Activity) WakeAt(at Cycle) {
 			return
 		}
 		if a.wakeAt.CompareAndSwap(cur, at) {
-			return
+			break
 		}
+	}
+	// The wake time was lowered; make sure the component is in its shard's
+	// worklist. The plain Load keeps the common already-queued case to one
+	// atomic read; the CAS arbitrates racing producers so exactly one
+	// enqueues. (A parked component always sits at Never, so any producer
+	// that finds cur <= at and returns early raced one that lowered the time
+	// and reached this enqueue.)
+	if a.set != nil && !a.queued.Load() && a.queued.CompareAndSwap(false, true) {
+		a.set.enqueue(a.idx)
 	}
 }
 
@@ -131,20 +157,49 @@ type IdleTicker interface {
 }
 
 // Flusher is a per-shard dirty list: latches that mark themselves during the
-// Tick phase (Queue/Reg bound via their Bind methods) are flushed exactly
-// once in the following Flush phase, and untouched latches are never walked.
-// A latch bound to a Flusher must not also be passed to RegisterLatch.
+// Tick phase (Queue/Reg bound via their Bind methods, cross-shard wires via
+// link.Wire.CrossShard) are flushed exactly once in the following Flush
+// phase, and untouched latches are never walked. A latch bound to a Flusher
+// must not also be passed to RegisterLatch.
+//
+// Latches that register with BindID are marked by dense ID (MarkID): the
+// dirty list is then a flat int32 array and the flush phase a linear walk of
+// arena-resident IDs, with no interface append (and no GC write barrier) on
+// the hot marking path. The object-based Mark remains for latches without a
+// registration site.
 type Flusher struct {
 	dirty []Latch
+	table []Latch // BindID-registered latches, indexed by dense ID
+	ids   []int32 // IDs marked dirty this cycle
 }
 
+// BindID registers l for ID-based marking and returns its dense ID. The ID
+// is only meaningful to this Flusher; callers store it and pass it back to
+// MarkID. Registration happens at build time, before the first Step.
+func (f *Flusher) BindID(l Latch) int32 {
+	f.table = append(f.table, l)
+	return int32(len(f.table) - 1)
+}
+
+// MarkID schedules the latch registered under id for the next flush phase.
+// Callers must mark at most once per cycle per latch.
+//lint:allow(hotalloc) dirty-ID growth is bounded by the number of bound latches; run() truncates in place so capacity is reused
+func (f *Flusher) MarkID(id int32) { f.ids = append(f.ids, id) }
+
 // Mark schedules l for the next flush phase. Callers must mark at most once
-// per cycle per latch (Queue and Reg guarantee this with a dirty bit).
-//lint:allow(hotalloc) dirty-list growth is bounded by the shard's latch count; run() truncates in place so capacity is reused
+// per cycle per latch (Queue and Reg guarantee this with a dirty bit). The
+// production wires and queues all mark by dense ID (BindID/MarkID); Mark
+// remains for ad-hoc latches that skip Bind.
 func (f *Flusher) Mark(l Latch) { f.dirty = append(f.dirty, l) }
 
-// run flushes and clears the dirty list.
+// run flushes and clears the dirty lists: ID-marked latches first (in mark
+// order), then object-marked ones. Latches are independent (double-buffered),
+// so the relative order of the two lists is unobservable.
 func (f *Flusher) run() {
+	for _, id := range f.ids {
+		f.table[id].Flush()
+	}
+	f.ids = f.ids[:0]
 	for i, l := range f.dirty {
 		l.Flush()
 		f.dirty[i] = nil
@@ -166,6 +221,7 @@ type deferredCall struct {
 type shard struct {
 	tickers  []Ticker
 	acts     []*Activity // parallel to tickers; nil entries always run
+	as       activeSet   // tick worklist (quiescence-skipping schedules)
 	latches  []Latch
 	flusher  Flusher
 	deferred []deferredCall // staged by this shard's Ticks, drained at window boundaries
@@ -357,12 +413,14 @@ func (e *Engine) RegisterSharded(sh int, t Ticker) {
 		return
 	}
 	s := &e.shards[sh]
+	idx := int32(len(s.tickers))
 	s.tickers = append(s.tickers, t)
 	var a *Activity
 	if it, ok := t.(IdleTicker); ok {
 		a = it.Activity()
 	}
 	s.acts = append(s.acts, a)
+	s.as.register(idx, a)
 	if b, ok := t.(Binder); ok {
 		b.BindEngine(e, sh)
 	}
@@ -512,21 +570,7 @@ func (e *Engine) tickWindowShard(s *shard, now, end Cycle) {
 
 func (e *Engine) tickShard(s *shard, now Cycle) {
 	if e.skip {
-		ticked := false
-		idle := Never
-		for i, t := range s.tickers {
-			if a := s.acts[i]; a != nil {
-				if w := Cycle(a.wakeAt.Load()); w > now {
-					if w < idle {
-						idle = w
-					}
-					continue
-				}
-			}
-			t.Tick(now)
-			ticked = true
-		}
-		s.ticked, s.idleWake = ticked, idle
+		s.ticked, s.idleWake = s.as.sweep(s.tickers, s.acts, now)
 		return
 	}
 	s.ticked = len(s.tickers) > 0

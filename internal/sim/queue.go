@@ -21,6 +21,7 @@ type Queue[T any] struct {
 	cap  int // total capacity (visible + pending); 0 = unbounded
 
 	fl     *Flusher
+	flID   int32
 	marked bool
 }
 
@@ -43,7 +44,10 @@ func (q *Queue[T]) CanPush() bool {
 // Bind routes this queue's flushes through f's dirty list: the queue is
 // flushed only on cycles it was pushed to. A bound queue must not also be
 // passed to RegisterLatch, and must only be pushed by Tickers of f's shard.
-func (q *Queue[T]) Bind(f *Flusher) { q.fl = f }
+func (q *Queue[T]) Bind(f *Flusher) {
+	q.fl = f
+	q.flID = f.BindID(q)
+}
 
 // grow re-linearizes the ring into a larger buffer (unbounded queues only).
 func (q *Queue[T]) grow() {
@@ -77,7 +81,7 @@ func (q *Queue[T]) Push(v T) bool {
 	q.pend++
 	if q.fl != nil && !q.marked {
 		q.marked = true
-		q.fl.Mark(q)
+		q.fl.MarkID(q.flID)
 	}
 	return true
 }
@@ -138,13 +142,17 @@ type Reg[T any] struct {
 	cur, next T
 	hasNext   bool
 
-	fl *Flusher
+	fl   *Flusher
+	flID int32
 }
 
 // Bind routes this register's flushes through f's dirty list: the register
 // is flushed only on cycles it was set. A bound register must not also be
 // passed to RegisterLatch, and must only be set by Tickers of f's shard.
-func (r *Reg[T]) Bind(f *Flusher) { r.fl = f }
+func (r *Reg[T]) Bind(f *Flusher) {
+	r.fl = f
+	r.flID = f.BindID(r)
+}
 
 // Get returns the current value.
 func (r *Reg[T]) Get() T { return r.cur }
@@ -152,7 +160,7 @@ func (r *Reg[T]) Get() T { return r.cur }
 // Set schedules v to become current at the next Flush.
 func (r *Reg[T]) Set(v T) {
 	if r.fl != nil && !r.hasNext {
-		r.fl.Mark(r)
+		r.fl.MarkID(r.flID)
 	}
 	r.next = v
 	r.hasNext = true

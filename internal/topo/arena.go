@@ -1,0 +1,102 @@
+package topo
+
+import (
+	"nifdy/internal/router"
+	"nifdy/internal/sim"
+)
+
+// ArenaIDs issues the dense per-shard component IDs that router.Arena binds
+// against. Every topology hands components to an ArenaBuilder in its
+// registration order, and the builder draws IDs from this allocator in that
+// same order — IDs are positions in the shard's bind sequence, never
+// literals (the nifdy-lint `arena` rule rejects literal IDs at BindArena
+// call sites, and Arena.claim rejects out-of-order ones at bind time).
+type ArenaIDs struct {
+	next []int32
+}
+
+// NewArenaIDs returns an allocator covering shards [0, shards).
+func NewArenaIDs(shards int) *ArenaIDs {
+	return &ArenaIDs{next: make([]int32, shards)}
+}
+
+// Next issues the next dense ID for shard sh.
+func (ids *ArenaIDs) Next(sh int) int32 {
+	id := ids.next[sh]
+	ids.next[sh]++
+	return id
+}
+
+// arenaEntry is one component queued for binding; exactly one field is set.
+type arenaEntry struct {
+	r *router.Router
+	f *router.Iface
+}
+
+// ArenaBuilder collects a fabric's routers and interfaces per engine shard
+// during registration, then Build carves one router.Arena per owned shard
+// and rebinds every component's hot state onto it in add order. Components
+// in shards the engine does not own (multi-process runs) are skipped: they
+// never tick locally, so their heap-backed state is inert.
+type ArenaBuilder struct {
+	e      *sim.Engine
+	ids    *ArenaIDs
+	shards [][]arenaEntry
+}
+
+// NewArenaBuilder returns a builder for e's shard layout.
+func NewArenaBuilder(e *sim.Engine) *ArenaBuilder {
+	n := e.Shards()
+	if n < 1 {
+		n = 1
+	}
+	return &ArenaBuilder{
+		e:      e,
+		ids:    NewArenaIDs(n),
+		shards: make([][]arenaEntry, n),
+	}
+}
+
+// AddRouter queues r, placed in shard sh, for arena binding.
+func (b *ArenaBuilder) AddRouter(sh int, r *router.Router) {
+	if !b.e.Owns(sh) {
+		return
+	}
+	b.shards[sh] = append(b.shards[sh], arenaEntry{r: r})
+}
+
+// AddIface queues f, placed in shard sh, for arena binding.
+func (b *ArenaBuilder) AddIface(sh int, f *router.Iface) {
+	if !b.e.Owns(sh) {
+		return
+	}
+	b.shards[sh] = append(b.shards[sh], arenaEntry{f: f})
+}
+
+// Build sizes, allocates, and binds one arena per shard that has components.
+// It must run after every channel connection is made (capacities derive from
+// credit grants) and before the first Step.
+func (b *ArenaBuilder) Build() {
+	for sh, entries := range b.shards {
+		if len(entries) == 0 {
+			continue
+		}
+		var sz router.ArenaSizer
+		for _, en := range entries {
+			if en.r != nil {
+				en.r.ArenaSize(&sz)
+			} else {
+				en.f.ArenaSize(&sz)
+			}
+		}
+		a := router.NewArena(sz)
+		for _, en := range entries {
+			id := b.ids.Next(sh)
+			if en.r != nil {
+				en.r.BindArena(a, id)
+			} else {
+				en.f.BindArena(a, id)
+			}
+		}
+	}
+}

@@ -196,13 +196,10 @@ func (f *Fly) SyncWindow() int { return f.cfg.Iface.SyncWindow() }
 // Iface implements topo.Network.
 func (f *Fly) Iface(n int) router.Port { return f.ifaces[n] }
 
-// RegisterRouters implements topo.Network.
+// RegisterRouters implements topo.Network: the single-shard case of
+// RegisterRoutersSharded (everything in shard 0, no cross edges).
 func (f *Fly) RegisterRouters(e *sim.Engine) {
-	for _, st := range f.routers {
-		for _, r := range st {
-			e.Register(r)
-		}
-	}
+	f.RegisterRoutersSharded(e, make([]int, f.nodes))
 }
 
 // Partition implements topo.Network: contiguous node blocks aligned to
@@ -221,11 +218,18 @@ func (f *Fly) routerShard(r int, shardOf []int) int {
 
 // RegisterRoutersSharded implements topo.Network.
 func (f *Fly) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	ab := topo.NewArenaBuilder(e)
 	for _, st := range f.routers {
 		for r, rt := range st {
-			e.RegisterSharded(f.routerShard(r, shardOf), rt)
+			sh := f.routerShard(r, shardOf)
+			e.RegisterSharded(sh, rt)
+			ab.AddRouter(sh, rt)
 		}
 	}
+	for n, fc := range f.ifaces {
+		ab.AddIface(shardOf[n], fc)
+	}
+	defer ab.Build()
 	topo.MarkCross(e, f.edges, func(key int) int {
 		if key < 0 {
 			return shardOf[-key-1]

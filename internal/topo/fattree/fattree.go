@@ -316,13 +316,10 @@ func (t *Tree) SyncWindow() int { return t.cfg.Iface.SyncWindow() }
 // Iface implements topo.Network.
 func (t *Tree) Iface(n int) router.Port { return t.ifaces[n] }
 
-// RegisterRouters implements topo.Network.
+// RegisterRouters implements topo.Network: the single-shard case of
+// RegisterRoutersSharded (everything in shard 0, no cross edges).
 func (t *Tree) RegisterRouters(e *sim.Engine) {
-	for _, lvl := range t.routers {
-		for _, r := range lvl {
-			e.Register(r)
-		}
-	}
+	t.RegisterRoutersSharded(e, make([]int, t.nodes))
 }
 
 // Partition implements topo.Network: contiguous node blocks aligned to leaf
@@ -344,11 +341,18 @@ func (t *Tree) routerShard(l, w int, shardOf []int) int {
 
 // RegisterRoutersSharded implements topo.Network.
 func (t *Tree) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	ab := topo.NewArenaBuilder(e)
 	for l, lvl := range t.routers {
 		for w, r := range lvl {
-			e.RegisterSharded(t.routerShard(l, w, shardOf), r)
+			sh := t.routerShard(l, w, shardOf)
+			e.RegisterSharded(sh, r)
+			ab.AddRouter(sh, r)
 		}
 	}
+	for n, f := range t.ifaces {
+		ab.AddIface(shardOf[n], f)
+	}
+	defer ab.Build()
 	topo.MarkCross(e, t.edges, func(key int) int {
 		if key < 0 {
 			return shardOf[-key-1]

@@ -245,11 +245,10 @@ func (m *Mesh) Nodes() int { return m.nodes }
 // Iface implements topo.Network.
 func (m *Mesh) Iface(n int) router.Port { return m.ifaces[n] }
 
-// RegisterRouters implements topo.Network.
+// RegisterRouters implements topo.Network: the single-shard case of
+// RegisterRoutersSharded (everything in shard 0, no cross edges).
 func (m *Mesh) RegisterRouters(e *sim.Engine) {
-	for _, r := range m.routers {
-		e.Register(r)
-	}
+	m.RegisterRoutersSharded(e, make([]int, m.nodes))
 }
 
 // Partition implements topo.Network: contiguous row-major node blocks, one
@@ -262,10 +261,16 @@ func (m *Mesh) Partition(shards int) []int {
 // shard, and neighbor channels crossing a block boundary become staged
 // cross-shard edges.
 func (m *Mesh) RegisterRoutersSharded(e *sim.Engine, shardOf []int) {
+	ab := topo.NewArenaBuilder(e)
 	for n, r := range m.routers {
 		e.RegisterSharded(shardOf[n], r)
+		ab.AddRouter(shardOf[n], r)
+	}
+	for n, f := range m.ifaces {
+		ab.AddIface(shardOf[n], f)
 	}
 	topo.MarkCross(e, m.edges, func(key int) int { return shardOf[key] })
+	ab.Build()
 }
 
 // AuditRouters implements topo.Network.

@@ -1,0 +1,71 @@
+#!/bin/sh
+# benchlocality.sh — gate the structure-of-arrays flit core (DESIGN.md §10).
+#
+# Two assertions:
+#
+#   1. Active-set scheduling is sub-linear in total component count: the
+#      engine's BenchmarkIdleFraction steps a fixed 64-component active
+#      region inside total populations 64x apart (1k vs 64k components).
+#      Linear scheduling would cost ~64x more per step; the gate requires
+#      the ratio to stay under RATIO_MAX (default 8, far below linear and
+#      generous to host noise).
+#
+#   2. The hot path got faster, not just different: BenchmarkFigure2Heavy
+#      wall clock must beat the committed pre-SoA baseline
+#      (BENCH_2026-08-06_zeroalloc.json, f2 = 47.95s) by at least 20%,
+#      enforced through benchdiff.sh with a negative regression threshold
+#      (REGRESS_PCT=-20 turns the regression check into a speedup floor).
+#
+# Set BENCH_OUT to keep the measured f2 run as a committable BENCH JSON.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=${BASELINE:-BENCH_2026-08-06_zeroalloc.json}
+ratio_max=${RATIO_MAX:-8}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "benchlocality: active-set sub-linearity (BenchmarkIdleFraction)..."
+go test -run xxx -bench BenchmarkIdleFraction -benchtime 2s ./internal/sim > "$tmp/idle.txt"
+small=$(awk '/BenchmarkIdleFraction\/total=1024/  {print $3}' "$tmp/idle.txt")
+large=$(awk '/BenchmarkIdleFraction\/total=65536/ {print $3}' "$tmp/idle.txt")
+if [ -z "$small" ] || [ -z "$large" ]; then
+    echo "benchlocality: could not parse BenchmarkIdleFraction output:" >&2
+    cat "$tmp/idle.txt" >&2
+    exit 2
+fi
+ratio=$(awk -v s="$small" -v l="$large" 'BEGIN{printf "%.2f", l/s}')
+echo "  total=1024:  $small ns/op"
+echo "  total=65536: $large ns/op  (ratio ${ratio}x for 64x the components, max ${ratio_max}x)"
+awk -v r="$ratio" -v m="$ratio_max" 'BEGIN{exit !(r <= m)}' || {
+    echo "FAIL: idle-fraction step cost grew ${ratio}x for 64x the components (limit ${ratio_max}x): scheduling is not sub-linear" >&2
+    exit 1
+}
+
+echo "benchlocality: Figure 2 heavy traffic vs pre-SoA baseline ($baseline)..."
+go test -run xxx -bench BenchmarkFigure2Heavy -benchtime 1x -timeout 1800s . > "$tmp/f2.txt"
+f2ns=$(awk '/^BenchmarkFigure2Heavy/ {print $3}' "$tmp/f2.txt")
+if [ -z "$f2ns" ]; then
+    echo "benchlocality: could not parse BenchmarkFigure2Heavy output:" >&2
+    cat "$tmp/f2.txt" >&2
+    exit 2
+fi
+jq -n --argjson ns "$f2ns" \
+    --arg date "$(date -u +%F)" --arg gover "$(go env GOVERSION)" --arg arch "$(go env GOARCH)" '
+  {date: $date, go_version: $gover, goarch: $arch, full: false,
+   note: "benchlocality.sh: SoA arena + active-set scheduling gate run",
+   experiments: [{name: "f2", ns_per_op: $ns}]}
+' > "$tmp/f2.json"
+if [ -n "${BENCH_OUT:-}" ]; then
+    cp "$tmp/f2.json" "$BENCH_OUT"
+fi
+
+# A negative threshold flips benchdiff's regression check into a speedup
+# floor: the new f2 must be at least 20% below the old baseline's ns/op.
+REGRESS_PCT=${REGRESS_PCT:--20} ./scripts/benchdiff.sh "$baseline" "$tmp/f2.json" || {
+    echo "FAIL: Figure2Heavy did not beat the pre-SoA baseline by the required margin" >&2
+    exit 1
+}
+echo "benchlocality: OK"
