@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale bench-locality profdiff baseline clean
+.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale bench-locality bench-fabric profdiff baseline clean
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,14 @@ bench-scale:
 # via benchdiff.sh with an inverted (negative) regression threshold.
 bench-locality:
 	./scripts/benchlocality.sh
+
+# bench-fabric gates the modern-fabric scenario pack (DESIGN.md §11): the
+# NIFDY vs PFC/DCQCN incast matrix must be bit-identical at 1 vs 2 engine
+# shards, and NIFDY must beat PFC's delivered throughput under lossless
+# incast by at least RATIO_MIN (default 1.05), with a MIN_PKTS noise floor.
+# Override with: make bench-fabric RATIO_MIN=1.10
+bench-fabric:
+	RATIO_MIN=$(or $(RATIO_MIN),1.05) MIN_PKTS=$(or $(MIN_PKTS),1000) ./scripts/benchfabric.sh
 
 # profdiff prints the top-N flat-cost changes between two CPU profiles of
 # the same workload: make profdiff OLD=before.prof NEW=after.prof

@@ -12,10 +12,12 @@
 //	nifdy-bench -exp f2 -mode flow       # Figure 2 on the flow-level twins of each fabric
 //	nifdy-bench -exp scale               # node-cycles/sec: flit baseline vs 100k-node flow run
 //	nifdy-bench -exp dist -procs 1,2,4   # multi-process engine: bit-identity + wall clock per proc count
+//	nifdy-bench -exp fabric              # NIFDY vs PFC/DCQCN/plain under incast, lossless + lossy wires
 //	nifdy-bench -check                   # invariant-monitor fuzz sweep; exit 1 on violation
 //
 // Experiments: t2, t3, t3sweep, model, f2, f3, f4, f5, f6, f7, f8, f9,
-// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, scale, dist, all.
+// coalesce, lossy, acks, piggyback, adaptive, hotspot, faults, scale, dist,
+// fabric, all.
 //
 // -mode selects the fabric fidelity for f2/f3: "flit" (default) is the
 // cycle-accurate reference, "flow" swaps each network for its flow-level
@@ -79,7 +81,7 @@ func main() {
 		return
 	}
 	var (
-		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,scale,dist,all)")
+		exp     = flag.String("exp", "all", "experiment id (t2,t3,t3sweep,f2,f3,f4,f5,f6,f7,f8,f9,coalesce,lossy,acks,piggyback,scale,dist,fabric,all)")
 		full    = flag.Bool("full", false, "paper-scale budgets instead of reduced")
 		seed    = flag.Uint64("seed", 1995, "experiment seed")
 		shards  = flag.Int("shards", 0, "engine shards per simulation for f2/f3/f4 (0 = min(GOMAXPROCS, nodes), 1 = serial; bit-identical results)")
@@ -315,6 +317,25 @@ func main() {
 			tbl := nifdy.ExtFaults(o)
 			fmt.Println(tbl)
 			collect(tbl)
+		case "fabric":
+			// Modern-fabric scenario pack (DESIGN.md §11). Reduced scale is
+			// the 9x9/48-way testbed whose shapes match the 17x17/256-way
+			// default (-full); every metric is bit-identical for any -shards.
+			// The per-cell metrics land in the baseline JSON with the
+			// fabric/loss/nic_kind fields scripts/benchfabric.sh gates on.
+			o := nifdy.FabricOpts{Seed: *seed, Shards: *shards}
+			if !*full {
+				o.Width, o.Height = 9, 9
+				o.FanIn = 48
+				o.Cycles = 40_000
+			}
+			pts := nifdy.FabricExperiment(o)
+			tbl := nifdy.FabricTable(pts)
+			fmt.Println(tbl)
+			collect(tbl)
+			if raw, err := json.Marshal(pts); err == nil {
+				extra = append(extra, raw)
+			}
 		case "model":
 			tbl := nifdy.ModelCheck(nifdy.ModelCheckOpts{Seed: *seed})
 			fmt.Println(tbl)

@@ -1,0 +1,54 @@
+// Incast on a modern fabric: NIFDY against the datacenter baselines. A
+// seeded set of senders blasts the center of a wormhole mesh while the
+// remaining nodes exchange uniform background traffic, and the same scenario
+// runs under four NICs — plain (no protection), PFC (hop-by-hop pause),
+// DCQCN (ECN-driven rate control), and NIFDY's end-to-end admission control.
+// The fan-in itself is bounded by the sink's service rate for every NIC; the
+// interesting number is how much background traffic survives the hotspot's
+// backpressure (congestion spreading, paper §1.1). Run with:
+//
+//	go run ./examples/incastfabric                        # 9x9 mesh, 48-way
+//	go run ./examples/incastfabric -width 17 -height 17 -fanin 256 -cycles 100000
+//	go run ./examples/incastfabric -lossy                 # add seeded flit drops
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nifdy"
+)
+
+func main() {
+	width := flag.Int("width", 9, "mesh width")
+	height := flag.Int("height", 9, "mesh height")
+	fanin := flag.Int("fanin", 48, "incast width (senders targeting the center)")
+	cycles := flag.Int64("cycles", 40_000, "measurement budget in cycles")
+	seed := flag.Uint64("seed", 1995, "sender placement and lossy-wire seed")
+	lossy := flag.Bool("lossy", false, "also run the lossy-wire column (NIFDY retransmits; the baselines take the losses)")
+	flag.Parse()
+
+	o := nifdy.FabricOpts{
+		Width: *width, Height: *height, FanIn: *fanin,
+		Cycles: nifdy.Cycle(*cycles), Seed: *seed,
+		Scenarios: []nifdy.FabricScenario{
+			nifdy.IncastScenario(*width, *height, *fanin, *seed),
+		},
+		Lossy: []bool{false},
+	}
+	if *lossy {
+		o.Lossy = []bool{false, true}
+	}
+	points := nifdy.FabricExperiment(o)
+	fmt.Println(nifdy.FabricTable(points))
+
+	byKind := map[string]nifdy.FabricPoint{}
+	for _, p := range points {
+		if !p.Lossy {
+			byKind[p.Kind] = p
+		}
+	}
+	n, p, base := byKind["NIFDY"], byKind["PFC"], byKind["none"]
+	fmt.Printf("incast fabric: NIFDY delivered %d vs PFC %d and plain %d (%d-way fan-in, %dx%d mesh)\n",
+		n.Delivered, p.Delivered, base.Delivered, *fanin, *width, *height)
+}

@@ -39,3 +39,8 @@ func TestIncast100k(t *testing.T) {
 	runExample(t, "incast complete", "./examples/incast100k",
 		"-x", "64", "-y", "64", "-senders", "64")
 }
+
+func TestIncastFabric(t *testing.T) {
+	runExample(t, "incast fabric:", "./examples/incastfabric",
+		"-width", "7", "-height", "7", "-fanin", "24", "-cycles", "10000")
+}

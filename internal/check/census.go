@@ -59,6 +59,16 @@ type vcCensus struct {
 	occ, cap               int
 	upNode, downNode       int // -1 for router endpoints
 	wireFlits, wireCredits int
+
+	// PFC pause-state books (populated only when PFC is enabled): the
+	// transmitter's view (paused since pfcSince), the receiver's issued
+	// state, and the last pause/resume frame still in flight on the credit
+	// wire — frames are absolute set/clear operations, so the last one in
+	// arrival order decides the transmitter's post-drain state.
+	pfcHasTx, pfcTx bool
+	pfcSince        sim.Cycle
+	pfcHasRx, pfcRx bool
+	pfcLastFrame    router.CreditKind
 }
 
 // chanCensus is one channel's per-VC books.
@@ -161,6 +171,14 @@ func (c *Checker) sweep(now sim.Cycle) {
 				v := chAt(ch).at(vc)
 				v.hasUp, v.credits, v.initial, v.upNode = true, credits, initial, nd
 			},
+			PFCTx: func(vc int, ch *router.Channel, paused bool, since sim.Cycle) {
+				v := chAt(ch).at(vc)
+				v.pfcHasTx, v.pfcTx, v.pfcSince = true, paused, since
+			},
+			PFCRx: func(vc int, ch *router.Channel, active bool) {
+				v := chAt(ch).at(vc)
+				v.pfcHasRx, v.pfcRx = true, active
+			},
 		})
 	}
 
@@ -179,21 +197,72 @@ func (c *Checker) sweep(now sim.Cycle) {
 				v := chAt(ch).at(vc)
 				v.hasUp, v.credits, v.initial = true, credits, initial
 			},
+			PFCTx: func(port, vc int, ch *router.Channel, paused bool, since sim.Cycle) {
+				v := chAt(ch).at(vc)
+				v.pfcHasTx, v.pfcTx, v.pfcSince = true, paused, since
+			},
+			PFCRx: func(port, vc int, ch *router.Channel, active bool) {
+				v := chAt(ch).at(vc)
+				v.pfcHasRx, v.pfcRx = true, active
+			},
 		})
 	})
 
-	// Wires: traffic in flight between the endpoints, once per channel.
+	// Wires: traffic in flight between the endpoints, once per channel. A
+	// flit's time of transmission is bounded from its arrival by the link's
+	// serialization and latency; while the transmitter is paused, no flit may
+	// have been sent at or after the pause took effect. PFC frames share the
+	// credit wire but are not credits; they are folded into the pause-state
+	// reconciliation instead of the conservation books.
 	wireFlits := 0
 	for _, ch := range order {
 		cc := chans[ch]
-		ch.Flits.ForEach(func(_ sim.Cycle, f packet.Flit) {
+		cpfLat := sim.Cycle(ch.Flits.CyclesPerFlit() + ch.Flits.Latency() - 1)
+		ch.Flits.ForEach(func(at sim.Cycle, f packet.Flit) {
 			addFlit(f, -1, "wire")
-			cc.at(f.VC).wireFlits++
+			v := cc.at(f.VC)
+			v.wireFlits++
 			wireFlits++
+			if v.pfcHasTx && v.pfcTx {
+				if sent := at - cpfLat; sent >= v.pfcSince {
+					c.report(now, MonPFCPause, v.upNode,
+						"vc %d flit (%v, %d) transmitted at %d, at/after pause took effect at %d",
+						f.VC, f.Pkt, f.Index, sent, v.pfcSince)
+				}
+			}
 		})
 		ch.Credits.ForEach(func(_ sim.Cycle, cr router.Credit) {
-			cc.at(cr.VC).wireCredits++
+			v := cc.at(cr.VC)
+			if cr.Kind == router.CreditReturn {
+				v.wireCredits++
+			} else {
+				v.pfcLastFrame = cr.Kind
+			}
 		})
+	}
+
+	// PFC pause/resume pairing: the transmitter's pause state, updated by the
+	// frames still in flight (in arrival order), must equal the receiver's
+	// issued state — a pause or resume can be in transit, but never lost.
+	for _, ch := range order {
+		for vc := range chans[ch].vcs {
+			v := &chans[ch].vcs[vc]
+			if !v.pfcHasTx || !v.pfcHasRx {
+				continue
+			}
+			projected := v.pfcTx
+			switch v.pfcLastFrame {
+			case router.PFCPause:
+				projected = true
+			case router.PFCResume:
+				projected = false
+			}
+			if projected != v.pfcRx {
+				c.report(now, MonPFCPause, v.downNode,
+					"vc %d pause/resume pairing broken: transmitter %v (after in-flight frames %v), receiver issued %v",
+					vc, v.pfcTx, projected, v.pfcRx)
+			}
+		}
 	}
 
 	// Credit conservation and capacity, per (channel, VC).
@@ -299,9 +368,23 @@ type nifdyLike interface {
 	Params() (o, b, d, w int)
 }
 
+// rateBounded is the surface a rate-controlled NIC (the DCQCN kind) exposes
+// for the rate-bounds monitor: the current sending rate and the configured
+// clamp it must never leave.
+type rateBounded interface {
+	RateBounds() (rate, min, max int64)
+}
+
 // auditNIC walks one NIC's packet references and, for NIFDY units, checks
-// the protocol bounds against the unit's own (O, B, D, W).
+// the protocol bounds against the unit's own (O, B, D, W). Rate-controlled
+// NICs additionally have their sending rate checked against its clamp.
 func (c *Checker) auditNIC(now sim.Cycle, nc nic.NIC, addWhole func(nd int, where string, p *packet.Packet)) {
+	if rb, ok := nc.(rateBounded); ok {
+		if rate, lo, hi := rb.RateBounds(); rate < lo || rate > hi {
+			c.report(now, MonDCQCNRate, nc.Node(),
+				"sending rate %d outside configured bounds [%d, %d]", rate, lo, hi)
+		}
+	}
 	aud, ok := nc.(nic.Auditable)
 	if !ok {
 		return

@@ -61,6 +61,8 @@ const (
 	MonCreditConservation = "credit-conservation"
 	MonVCCapacity         = "vc-capacity"
 	MonRecycleSafety      = "recycle-safety"
+	MonPFCPause           = "pfc-pause"
+	MonDCQCNRate          = "dcqcn-rate"
 )
 
 // Violation is one observed invariant breach.
@@ -96,6 +98,13 @@ type Options struct {
 	// takeover) or the fabric drops them (DropProb) — harness.Build gates
 	// this automatically.
 	Sequence bool
+	// ByID keys the sequence accounting by packet ID instead of pointer, so
+	// retransmission clones — which carry the original's ID — account as one
+	// logical packet: sent once (the send hook fires at TrySend only, not on
+	// resends) and accepted exactly once (the §6.2 dup bit suppresses
+	// duplicate deliveries before the accept hook fires). This keeps the
+	// no-loss-dup monitor armed over a lossy fabric with Retransmit on.
+	ByID bool
 	// InOrder additionally checks that each (src, dst) pair's packets are
 	// accepted in send order. Meaningful for NIFDY NICs on any fabric and
 	// for plain NICs on in-order fabrics. Implies the Sequence event
@@ -125,10 +134,12 @@ type Checker struct {
 	procs []*node.Proc
 	logs  []*eventLog
 
-	// Sequence-accounting state (pointer-keyed; see Options.Sequence).
-	inflight map[*packet.Packet]sendRec
-	nextIdx  map[pairKey]int64
-	lastIdx  map[pairKey]int64
+	// Sequence-accounting state (pointer- or ID-keyed; see Options.Sequence
+	// and Options.ByID).
+	inflight   map[*packet.Packet]sendRec
+	inflightID map[uint64]sendRec
+	nextIdx    map[pairKey]int64
+	lastIdx    map[pairKey]int64
 
 	violations []Violation
 	sweeps     int64
@@ -148,6 +159,7 @@ func New(eng *sim.Engine, net topo.Network, opts Options) *Checker {
 	c := &Checker{eng: eng, net: net, opts: opts}
 	if c.tracking() {
 		c.inflight = map[*packet.Packet]sendRec{}
+		c.inflightID = map[uint64]sendRec{}
 		c.nextIdx = map[pairKey]int64{}
 		c.lastIdx = map[pairKey]int64{}
 	}
@@ -228,9 +240,13 @@ func (c *Checker) Finish(now sim.Cycle) {
 	if !c.opts.Sequence {
 		return
 	}
-	lost := make([]sendRec, 0, len(c.inflight))
+	lost := make([]sendRec, 0, len(c.inflight)+len(c.inflightID))
 	//lint:allow(mapiter) pointer-keyed map has no sortable key; records are collected then sorted below for deterministic reporting
 	for _, rec := range c.inflight {
+		lost = append(lost, rec)
+	}
+	//lint:allow(mapiter) records are collected then sorted below for deterministic reporting
+	for _, rec := range c.inflightID {
 		lost = append(lost, rec)
 	}
 	// Deterministic report order regardless of map iteration.

@@ -11,6 +11,7 @@ import (
 	"nifdy/internal/check"
 	"nifdy/internal/core"
 	"nifdy/internal/harness"
+	"nifdy/internal/nic"
 	"nifdy/internal/node"
 	"nifdy/internal/router"
 	"nifdy/internal/sim"
@@ -67,6 +68,10 @@ type mutationCase struct {
 	// (required for end-to-end loss, which is only visible at the end).
 	finish bool
 	max    sim.Cycle
+	// interval overrides the sweep interval; transient violations (a flit
+	// in flight on a paused wire, a rate breach between two limiter
+	// updates) are only visible to a sweep in the same cycle.
+	interval sim.Cycle
 }
 
 func runMutation(t *testing.T, tc mutationCase) {
@@ -74,7 +79,7 @@ func runMutation(t *testing.T, tc mutationCase) {
 	seen := map[string]bool{}
 	var got []check.Violation
 	tc.opts.Check = &check.Options{
-		Sequence: true, InOrder: true,
+		Interval: tc.interval, Sequence: true, InOrder: true,
 		OnViolation: func(v check.Violation) {
 			seen[v.Monitor] = true
 			if len(got) < 20 {
@@ -252,6 +257,63 @@ func TestMutationsTripMonitors(t *testing.T) {
 				IfaceMutate:     router.IfaceMutations{IgnoreCredit: true},
 				IfaceMutateNode: 0,
 			},
+		},
+		{
+			// The source interface transmits one flit on a VC whose
+			// downstream issued a pause: the flit is on the wire with a send
+			// time at/after the pause took effect. The breach lives only for
+			// the flit's flight time, so the sweep runs every cycle. The
+			// converging bursts fill node 0's injection channel past the
+			// XOff threshold, which is what issues the pause.
+			name: "PFCIgnorePause/pfc-pause",
+			want: check.MonPFCPause,
+			opts: harness.BuildOpts{
+				Net: harness.Mesh2D(), Kind: harness.PFC,
+				Program: only(map[int]node.Program{
+					0: burst(30, 1, true),
+					2: burst(30, 1, true),
+				}),
+				IfaceMutate:     router.IfaceMutations{PFCIgnorePause: true},
+				IfaceMutateNode: 0,
+			},
+			interval: 1,
+		},
+		{
+			// The destination's ejection side drains below XOn and clears its
+			// pause state without sending the resume frame: the transmitter
+			// stays paused while the receiver believes it resumed — the
+			// pause/resume pairing is broken at every sweep thereafter. The
+			// slow drain forces the ejection queue through a full
+			// pause-then-resume cycle.
+			name: "PFCDropResume/pfc-pause",
+			want: check.MonPFCPause,
+			opts: harness.BuildOpts{
+				Net: harness.Mesh2D(), Kind: harness.PFC,
+				Program: only(map[int]node.Program{
+					0: burst(20, 1, true),
+					1: drainUntil(15000, 200),
+				}),
+				IfaceMutate:     router.IfaceMutations{PFCDropResume: true},
+				IfaceMutateNode: 1,
+			},
+		},
+		{
+			// The rate limiter skips the line-rate clamp during a recovery
+			// stage: the sending rate doubles past the configured maximum
+			// until the next limiter update re-clamps it, so the sweep runs
+			// every cycle to observe the breach.
+			name: "RateOverflow/dcqcn-rate",
+			want: check.MonDCQCNRate,
+			opts: harness.BuildOpts{
+				Net: harness.Mesh2D(), Kind: harness.DCQCN,
+				Program: only(map[int]node.Program{
+					0: burst(30, 1, false),
+					1: drainUntil(15000, 100),
+				}),
+				DCQCNMutate:     nic.DCQCNMutations{RateOverflow: true},
+				DCQCNMutateNode: 0,
+			},
+			interval: 1,
 		},
 	}
 	for _, tc := range cases {

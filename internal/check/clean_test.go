@@ -51,13 +51,17 @@ func runClean(t *testing.T, spec harness.NetSpec, kind harness.NICKind, shards i
 			return func(p *node.Proc) {
 				prog(p)
 				// Drain tail: accept packets still in flight when the
-				// workload ends, so the loss check sees them land.
+				// workload ends, so the loss check sees them land. The
+				// deadline restarts on every arrival — the node leaves only
+				// after a full quiet period, so a straggler chain of scalar
+				// round trips cannot outlive a fixed window.
 				deadline := p.Now() + 2500
 				for {
 					pk, ok := p.RecvOr(func() bool { return p.Now() >= deadline })
 					if !ok {
 						return
 					}
+					deadline = p.Now() + 2500
 					p.Free(pk)
 				}
 			}

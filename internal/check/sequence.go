@@ -109,7 +109,13 @@ func (c *Checker) processEvents(now sim.Cycle) {
 
 func (c *Checker) onSend(now sim.Cycle, e event) {
 	pair := pairKey{e.src, e.dst}
-	if prev, ok := c.inflight[e.p]; ok {
+	if c.opts.ByID {
+		if prev, ok := c.inflightID[e.p.ID]; ok {
+			c.report(now, MonLossDup, e.src,
+				"packet ID %d re-sent while in flight (previous: %d->%d #%d, now %d->%d)",
+				e.p.ID, prev.pair.src, prev.pair.dst, prev.idx, e.src, e.dst)
+		}
+	} else if prev, ok := c.inflight[e.p]; ok {
 		// The same pointer was handed to a NIC while still tracked: the
 		// earlier instance was recycled (or lost) while notionally in
 		// flight.
@@ -119,20 +125,34 @@ func (c *Checker) onSend(now sim.Cycle, e event) {
 	}
 	idx := c.nextIdx[pair]
 	c.nextIdx[pair] = idx + 1
-	c.inflight[e.p] = sendRec{pair: pair, idx: idx}
+	if c.opts.ByID {
+		c.inflightID[e.p.ID] = sendRec{pair: pair, idx: idx}
+	} else {
+		c.inflight[e.p] = sendRec{pair: pair, idx: idx}
+	}
 	if _, seen := c.lastIdx[pair]; !seen {
 		c.lastIdx[pair] = -1
 	}
 }
 
 func (c *Checker) onAccept(now sim.Cycle, e event) {
-	rec, ok := c.inflight[e.p]
+	var rec sendRec
+	var ok bool
+	if c.opts.ByID {
+		rec, ok = c.inflightID[e.p.ID]
+	} else {
+		rec, ok = c.inflight[e.p]
+	}
 	if !ok {
 		c.report(now, MonLossDup, e.dst,
 			"accepted packet %v was never sent or was already accepted (duplicate delivery)", e.p)
 		return
 	}
-	delete(c.inflight, e.p)
+	if c.opts.ByID {
+		delete(c.inflightID, e.p.ID)
+	} else {
+		delete(c.inflight, e.p)
+	}
 	if c.opts.InOrder {
 		if last := c.lastIdx[rec.pair]; rec.idx < last {
 			c.report(now, MonInOrder, e.dst,

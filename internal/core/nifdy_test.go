@@ -32,7 +32,13 @@ type world struct {
 }
 
 func newWorld(t *testing.T, net topo.Network, mk func(n int, ifc router.Port) nic.NIC) *world {
-	w := &world{t: t, eng: sim.New(), net: net}
+	return newWorldOn(t, sim.New(), net, mk)
+}
+
+// newWorldOn is newWorld on a caller-supplied engine, for tests that must
+// hand the engine to other machinery (e.g. a checker) before the NICs exist.
+func newWorldOn(t *testing.T, eng *sim.Engine, net topo.Network, mk func(n int, ifc router.Port) nic.NIC) *world {
+	w := &world{t: t, eng: eng, net: net}
 	net.RegisterRouters(w.eng)
 	n := net.Nodes()
 	w.sendQ = make([][]*packet.Packet, n)

@@ -183,6 +183,8 @@ func encodePacket(e *enc, p *packet.Packet) {
 	e.bool(p.BulkReq)
 	e.bool(p.BulkExit)
 	e.bool(p.NoAck)
+	e.bool(p.ECN)
+	e.bool(p.CNP)
 	e.bool(p.Dup)
 	e.bool(p.Retransmit)
 	e.varint(int64(p.Dialog))
@@ -213,6 +215,8 @@ func decodePacket(d *dec, p *packet.Packet) {
 	p.BulkReq = d.bool()
 	p.BulkExit = d.bool()
 	p.NoAck = d.bool()
+	p.ECN = d.bool()
+	p.CNP = d.bool()
 	p.Dup = d.bool()
 	p.Retransmit = d.bool()
 	p.Dialog = int(d.varint())

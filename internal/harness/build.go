@@ -29,6 +29,16 @@ const (
 	BuffersOnly
 	// NIFDY is the full unit from internal/core.
 	NIFDY
+	// PFC is the plain NIC over a fabric running Priority Flow Control:
+	// hop-by-hop pause/resume backpressure at every router input and
+	// ejection buffer (DESIGN.md §11). Selecting it enables
+	// Fabric.PFC.Enable automatically.
+	PFC
+	// DCQCN is the rate-controlled NIC (nic.DCQCN) over an ECN-marking
+	// fabric: routers mark heads crossing congested outputs, receivers echo
+	// CNPs, senders pace injection. Selecting it enables Fabric.ECN.Enable
+	// automatically.
+	DCQCN
 )
 
 func (k NICKind) String() string {
@@ -39,6 +49,10 @@ func (k NICKind) String() string {
 		return "buffers"
 	case NIFDY:
 		return "NIFDY"
+	case PFC:
+		return "PFC"
+	case DCQCN:
+		return "DCQCN"
 	default:
 		return fmt.Sprintf("NICKind(%d)", int(k))
 	}
@@ -64,6 +78,12 @@ type BuildOpts struct {
 	Seed uint64
 	// Drop enables the lossy-fabric model.
 	Drop float64
+	// Fabric configures the modern-fabric baselines: link-level PFC
+	// pause/resume, ECN marking for DCQCN, and the lossy-wire model
+	// (WireDrop/WireCorrupt) that exercises NIFDY's §6 retransmission path.
+	// Kinds PFC and DCQCN force their respective enables; the loss knobs
+	// compose with every NIC kind.
+	Fabric router.FabricConfig
 	// Check enables the runtime invariant monitors (internal/check): the
 	// built Sim carries a Checker installed as an engine step hook,
 	// sweeping the protocol and substrate invariants at the configured
@@ -77,6 +97,11 @@ type BuildOpts struct {
 	// IfaceMutateNode's interface, for invariant-monitor validation.
 	IfaceMutate     router.IfaceMutations
 	IfaceMutateNode int
+	// DCQCNMutate injects test-only rate-limiter faults into node
+	// DCQCNMutateNode's NIC (Kind DCQCN only), for invariant-monitor
+	// validation.
+	DCQCNMutate     nic.DCQCNMutations
+	DCQCNMutateNode int
 	// EngineShards selects intra-simulation parallelism: 0 or 1 builds the
 	// serial engine; larger values build sim.NewParallel and partition the
 	// fabric with the network's topology-aware Partition hook — each node's
@@ -131,10 +156,20 @@ func Build(opts BuildOpts) *Sim {
 	if window < 1 {
 		window = 1
 	}
+	// The fabric-baseline kinds imply their fabric feature: PFC is the plain
+	// NIC plus pause/resume links, DCQCN is the rate-control NIC plus ECN
+	// marking.
+	switch opts.Kind {
+	case PFC:
+		opts.Fabric.PFC.Enable = true
+	case DCQCN:
+		opts.Fabric.ECN.Enable = true
+	}
 	ifOpts := topo.IfaceOptions{
 		DropProb: opts.Drop, Seed: opts.Seed,
 		Mutate: opts.IfaceMutate, MutateNode: opts.IfaceMutateNode,
 		Window: window,
+		Fabric: opts.Fabric,
 	}
 	net := opts.Net.Build(opts.Seed, ifOpts)
 	if window > 1 {
@@ -163,6 +198,12 @@ func Build(opts BuildOpts) *Sim {
 		}
 		if opts.Drop > 0 || params.Retransmit || params.DialogTakeover > 0 {
 			panic("harness: Drop/Retransmit/DialogTakeover are not supported by the distributed runner")
+		}
+		if opts.Fabric.PFC.Enable || opts.Fabric.ECN.Enable || opts.Fabric.Lossy() {
+			// The dist codec carries credits as bare VC numbers and flits
+			// without the ECN bit, so PFC frames and congestion marks cannot
+			// cross a process boundary.
+			panic("harness: fabric baselines (PFC/ECN/lossy wires) are not supported by the distributed runner")
 		}
 		per := shards / w.Procs
 		eng = sim.NewParallelOwned(shards, w.Rank*per, (w.Rank+1)*per)
@@ -214,16 +255,35 @@ func Build(opts BuildOpts) *Sim {
 			co.Sequence = false
 			co.InOrder = false
 		}
-		if opts.Drop > 0 || params.Retransmit || params.DialogTakeover > 0 {
-			// These modes clone or drop packets, breaking the pointer-keyed
-			// sequence accounting (losses are the point of Drop; clones are
-			// new pointers the hooks never saw).
+		switch {
+		case params.DialogTakeover > 0:
+			// Takeover clones packets under fresh identities; neither pointer
+			// nor ID accounting survives.
+			co.Sequence = false
+			co.InOrder = false
+		case opts.Kind == NIFDY && params.Retransmit:
+			// Retransmission clones carry the original's ID and the §6.2 dup
+			// bit suppresses duplicate deliveries, so ID-keyed accounting
+			// stays exact even over lossy wires: every logical packet is sent
+			// once and accepted exactly once.
+			co.ByID = true
+		case opts.Drop > 0 || opts.Fabric.Lossy():
+			// Lossy fabric without retransmission: losses are the point, so
+			// end-to-end accounting would only report them.
 			co.Sequence = false
 			co.InOrder = false
 		}
 		if co.InOrder && opts.Kind != NIFDY && !opts.Net.InOrderFabric {
 			// A plain NIC on a reordering fabric has no ordering guarantee
 			// to check.
+			co.InOrder = false
+		}
+		if co.InOrder && opts.Kind == DCQCN {
+			// The rate limiter paces packets into whichever VC has credit,
+			// and consecutive packets ejecting on different VCs can complete
+			// out of order. DCQCN (like the RoCEv2 NICs it models) carries
+			// no reorder buffer — presentation order is NIFDY's §2.2
+			// contribution, not the baseline's.
 			co.InOrder = false
 		}
 		s.Checker = check.New(s.Eng, net, co)
@@ -235,7 +295,8 @@ func Build(opts BuildOpts) *Sim {
 		}
 		var nc nic.NIC
 		switch opts.Kind {
-		case Plain:
+		case Plain, PFC:
+			// PFC is the plain NIC: the backpressure lives in the fabric.
 			nc = nic.NewBasic(nic.BasicConfig{Node: n, OutBuf: 1, ArrBuf: 2, Hooks: hooks}, net.Iface(n))
 		case BuffersOnly:
 			// Same total buffering as the NIFDY unit, redistributed with at
@@ -251,6 +312,16 @@ func Build(opts BuildOpts) *Sim {
 			cfg.IDs = packet.NewNodeIDs(n)
 			cfg.Hooks = hooks
 			nc = core.New(cfg, net.Iface(n))
+		case DCQCN:
+			mut := nic.DCQCNMutations{}
+			if n == opts.DCQCNMutateNode {
+				mut = opts.DCQCNMutate
+			}
+			nc = nic.NewDCQCN(nic.DCQCNConfig{
+				Node: n, OutBuf: 1, ArrBuf: 2,
+				CPF:   net.Chars().CPF,
+				Hooks: hooks, Mutate: mut,
+			}, net.Iface(n))
 		default:
 			panic("harness: unknown NIC kind")
 		}

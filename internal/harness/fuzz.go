@@ -92,6 +92,9 @@ type fuzzTrial struct {
 	window int // conservative-sync window (a model parameter, fixed per trial)
 	dmul   int // multi-process shard count = procs * dmul
 	shm    bool
+	// fabric selects a modern-fabric column: "" (classic matrix), "lossy"
+	// (NIFDY with retransmission over dropping wires), "pfc", or "dcqcn".
+	fabric string
 }
 
 func (tr fuzzTrial) String() string {
@@ -99,9 +102,28 @@ func (tr fuzzTrial) String() string {
 	if tr.light {
 		pattern = "light"
 	}
-	return fmt.Sprintf("%s/%v O=%d B=%d D=%d W=%d ackArr=%v %s win=%d seed=%d",
+	s := fmt.Sprintf("%s/%v O=%d B=%d D=%d W=%d ackArr=%v %s win=%d seed=%d",
 		tr.spec.Name, tr.kind, tr.param.O, tr.param.B, tr.param.D, tr.param.W,
 		tr.param.AckOnArrival, pattern, tr.window, tr.seed)
+	if tr.fabric != "" {
+		s += " fabric=" + tr.fabric
+	}
+	return s
+}
+
+// fuzzFabricFor returns trial i's modern-fabric column. The rotation is
+// fixed, not randomized, so every default-size sweep deterministically
+// covers lossy wires, PFC, and DCQCN alongside the classic matrix.
+func fuzzFabricFor(i int) string {
+	switch i % 8 {
+	case 1:
+		return "lossy"
+	case 3:
+		return "pfc"
+	case 5:
+		return "dcqcn"
+	}
+	return ""
 }
 
 // distNetNames maps NetSpec display names to the wire-stable fabric names the
@@ -132,7 +154,7 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 	nets := StandardNetworks()
 	trials := make([]fuzzTrial, o.Trials)
 	for i := range trials {
-		trials[i] = fuzzTrial{
+		tr := fuzzTrial{
 			spec: nets[r.Intn(len(nets))],
 			kind: kinds[r.Intn(len(kinds))],
 			param: core.Config{
@@ -149,6 +171,30 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 			dmul:   1 + r.Intn(2),
 			shm:    r.Bool(0.5) && runtime.GOOS == "linux",
 		}
+		if fab := fuzzFabricFor(i); fab != "" {
+			// The modern-fabric columns run on the wormhole meshes, where
+			// PFC pause frames ride the credit wires and the DESIGN.md §11
+			// scenario pack lives. Lossy wires force the NIFDY kind: the
+			// sweep requires completion, and only the §6 retransmission
+			// path recovers a dropped flit.
+			tr.fabric = fab
+			wormhole := []NetSpec{Mesh2D(), Torus2D(), Mesh3D()}
+			tr.spec = wormhole[r.Intn(len(wormhole))]
+			switch fab {
+			case "lossy":
+				tr.kind = NIFDY
+				tr.param.Retransmit = true
+				// The timeout must undercut the drain-tail quiet period,
+				// or a loss on the workload's last packets outlives the
+				// receiving processor.
+				tr.param.RetransmitTimeout = 1024
+			case "pfc":
+				tr.kind = PFC
+			case "dcqcn":
+				tr.kind = DCQCN
+			}
+		}
+		trials[i] = tr
 	}
 
 	// Columns: every in-process shard count, then every multi-process worker
@@ -159,6 +205,7 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 		stats []nic.Stats
 		done  []bool
 		fails [][]FuzzFailure
+		skip  []bool
 	}
 	outs := make([]trialOut, len(trials))
 	tasks := make([]func(), 0, len(trials)*cols)
@@ -168,6 +215,7 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 			stats: make([]nic.Stats, cols),
 			done:  make([]bool, cols),
 			fails: make([][]FuzzFailure, cols),
+			skip:  make([]bool, cols),
 		}
 		for si, shards := range o.Shards {
 			si, shards := si, shards
@@ -180,6 +228,13 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 		}
 		for pi, procs := range o.Procs {
 			ci, procs := len(o.Shards)+pi, procs
+			if tr.fabric != "" {
+				// The dist codec carries no PFC frames, ECN bits, or wire
+				// faults across process boundaries, so the modern-fabric
+				// trials run only the in-process shard columns.
+				outs[ti].skip[ci] = true
+				continue
+			}
 			tasks = append(tasks, func() {
 				st, done, fails := fuzzDistRun(tr, procs, o)
 				outs[ti].stats[ci] = st
@@ -197,6 +252,9 @@ func FuzzSweep(o FuzzOpts) FuzzResult {
 			res.Failures = append(res.Failures, fs...)
 		}
 		for si := 1; si < cols; si++ {
+			if out.skip[si] {
+				continue
+			}
 			column := "shards"
 			n := 0
 			if si < len(o.Shards) {
@@ -285,6 +343,25 @@ func drainTail(prog node.Program, tail sim.Cycle) node.Program {
 	}
 }
 
+// drainQuiet is drainTail with the deadline restarting on every arrival:
+// the node leaves only after a full quiet period. Loss-recovery tails need
+// this — a retransmission chain arrives in bursts spaced by the retransmit
+// timeout, which a fixed window would cut off.
+func drainQuiet(prog node.Program, quiet sim.Cycle) node.Program {
+	return func(p *node.Proc) {
+		prog(p)
+		deadline := p.Now() + quiet
+		for {
+			pk, ok := p.RecvOr(func() bool { return p.Now() >= deadline })
+			if !ok {
+				return
+			}
+			deadline = p.Now() + quiet
+			p.Free(pk)
+		}
+	}
+}
+
 // fuzzRun executes one (trial, shard count) simulation with monitors armed.
 func fuzzRun(tr fuzzTrial, shards int, o FuzzOpts) (nic.Stats, bool, []FuzzFailure) {
 	var fails []FuzzFailure
@@ -298,10 +375,13 @@ func fuzzRun(tr fuzzTrial, shards int, o FuzzOpts) (nic.Stats, bool, []FuzzFailu
 	tcfg.Phases = 2
 	tcfg.PacketsPerPhase = o.Packets
 	progs := programFromTraffic(tcfg)
-	s := Build(BuildOpts{
+	bo := BuildOpts{
 		Net: tr.spec, Kind: tr.kind, Seed: tr.seed, Params: tr.param,
 		EngineShards: shards, Window: tr.window,
 		Program: func(n int) node.Program {
+			if tr.fabric == "lossy" {
+				return drainQuiet(progs(n), 2500)
+			}
 			return drainTail(progs(n), 2500)
 		},
 		Check: &check.Options{
@@ -314,7 +394,16 @@ func fuzzRun(tr fuzzTrial, shards int, o FuzzOpts) (nic.Stats, bool, []FuzzFailu
 				}
 			},
 		},
-	})
+	}
+	if tr.fabric == "lossy" {
+		// Dropping access wires: the run still must complete, and the
+		// ID-keyed sequence accounting (Build switches it on for
+		// NIFDY+Retransmit) still must balance — every loss recovered,
+		// every duplicate suppressed.
+		bo.Fabric.WireDrop = 1.0 / 256
+		bo.Fabric.Seed = tr.seed
+	}
+	s := Build(bo)
 	defer s.Close()
 	ok, _ := s.RunUntilDone(o.MaxCycles)
 	if ok {

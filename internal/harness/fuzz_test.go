@@ -32,10 +32,18 @@ func TestFuzzSweepClean(t *testing.T) {
 		Packets: envInt("NIFDY_FUZZ_PACKETS", 0),
 		Seed:    uint64(envInt("NIFDY_FUZZ_SEED", 20260806)),
 	}
-	// Three in-process shard counts plus the default multi-process column.
+	// Three in-process shard counts plus the default multi-process column;
+	// the modern-fabric trials (fixed rotation) skip the dist column.
+	want := 0
+	for i := 0; i < o.Trials; i++ {
+		want += 3
+		if fuzzFabricFor(i) == "" {
+			want++
+		}
+	}
 	res := FuzzSweep(o)
-	if res.Runs != o.Trials*4 {
-		t.Fatalf("ran %d simulations, want %d", res.Runs, o.Trials*4)
+	if res.Runs != want {
+		t.Fatalf("ran %d simulations, want %d", res.Runs, want)
 	}
 	for _, f := range res.Failures {
 		t.Errorf("%s", f)

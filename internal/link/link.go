@@ -310,6 +310,15 @@ type Link[T any] struct {
 	cyclesPerFlit sim.Cycle
 	busyUntil     sim.Cycle
 	sent          int64
+
+	// fault, when set, is consulted on every Send: returning false drops the
+	// flit in flight — the link still serializes it (busy time is spent, the
+	// sender's books are charged) but it never arrives at the consumer. The
+	// receiving side installs the handler and performs the compensating
+	// accounting (credit return, loss counters) inside it, so conservation
+	// invariants keep holding at every audit instant. The handler runs on the
+	// writer's goroutine; installer and writer must share an engine shard.
+	fault func(now sim.Cycle, v T) bool
 }
 
 // NewLink returns a Link with the given serialization time per flit and wire
@@ -323,6 +332,16 @@ func NewLink[T any](cyclesPerFlit, latency int) *Link[T] {
 
 // CyclesPerFlit reports the serialization time of one flit.
 func (l *Link[T]) CyclesPerFlit() int { return int(l.cyclesPerFlit) }
+
+// Latency reports the underlying wire delay in cycles. A flit sent at t
+// fully arrives at t+CyclesPerFlit+Latency-1 (minimum t+1); the invariant
+// monitors use this to bound a flit's time of transmission from its arrival.
+func (l *Link[T]) Latency() int { return l.wire.Latency() }
+
+// SetFault installs (or, with nil, removes) the lossy-link fault hook (see
+// the field comment). Faults are decided at transmission time by the single
+// writer, so drop decisions are deterministic for any shard count.
+func (l *Link[T]) SetFault(f func(now sim.Cycle, v T) bool) { l.fault = f }
 
 // Observe registers the consumer's activity with the underlying wire (see
 // Wire.Observe).
@@ -360,12 +379,15 @@ func (l *Link[T]) Send(now sim.Cycle, f T) {
 		panic("link: Send while busy")
 	}
 	l.busyUntil = now + l.cyclesPerFlit
+	l.sent++
+	if l.fault != nil && !l.fault(now, f) {
+		return // dropped in flight: serialized but never arrives
+	}
 	at := now + l.cyclesPerFlit + l.wire.latency - 1
 	if at <= now {
 		at = now + 1
 	}
 	l.wire.SendAt(at, f)
-	l.sent++
 }
 
 // Ready reports whether a flit has fully arrived (see Wire.Ready).

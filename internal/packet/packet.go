@@ -132,6 +132,14 @@ type Packet struct {
 	// NoAck marks a packet that bypasses the NIFDY protocol entirely (§6.1
 	// extension): sent immediately, never acknowledged.
 	NoAck bool
+	// ECN is the congestion-experienced mark: set by a router forwarding the
+	// packet's head flit through a congested egress queue (router.ECNConfig),
+	// echoed by the destination NIC as a CNP so a DCQCN-style sender can
+	// reduce its rate.
+	ECN bool
+	// CNP marks an ack packet as a congestion notification (the echo of an
+	// ECN mark) for the DCQCN rate-control NIC.
+	CNP bool
 	// Dup is the duplicate-detection bit used by the retransmission
 	// extension for lossy networks (§6.2). It alternates per (sender,
 	// receiver, slot) so the receiver can discard retransmitted copies of a

@@ -20,6 +20,7 @@ var dirtyings = []struct {
 	{"bulk-bits", func(p *Packet) { p.BulkReq = true; p.BulkExit = true }},
 	{"noack", func(p *Packet) { p.NoAck = true }},
 	{"dup-retransmit", func(p *Packet) { p.Dup = true; p.Retransmit = true }},
+	{"ecn-cnp", func(p *Packet) { p.ECN = true; p.CNP = true }},
 	{"dialog-seq", func(p *Packet) { p.Dialog = 2; p.Seq = 17 }},
 	{"grant-granted", func(p *Packet) { p.Grant = Granted }},
 	{"grant-rejected", func(p *Packet) { p.Grant = Rejected }},
@@ -38,6 +39,7 @@ var dirtyings = []struct {
 	{"everything", func(p *Packet) {
 		*p = Packet{ID: 1, Src: 1, Dst: 2, Kind: Ack, Class: Reply, Words: 1,
 			BulkReq: true, BulkExit: true, NoAck: true, Dup: true, Retransmit: true,
+			ECN: true, CNP: true,
 			Dialog: 3, Seq: 4, Grant: Granted, BulkAck: true, CumSeq: 5,
 			PiggyAck: true, Terminate: true,
 			Meta:      Meta{MsgID: 6, Index: 7, Total: 8, Tag: 9, Value: 10},

@@ -1,6 +1,9 @@
 package router
 
-import "nifdy/internal/packet"
+import (
+	"nifdy/internal/packet"
+	"nifdy/internal/sim"
+)
 
 // Auditor is a read-only visitor over a Router's internal state, used by the
 // invariant monitors (internal/check) to take a global census of flits and
@@ -19,6 +22,14 @@ type Auditor struct {
 	// channel: the free downstream slots currently held and the initial
 	// grant.
 	OutVC func(port, vc int, ch *Channel, credits, initial int)
+	// PFCTx is called once per (output port, global VC) when PFC is enabled:
+	// the transmitter-side pause state for the VC (paused, and the cycle the
+	// pause frame was drained). ch is the channel the pause governs.
+	PFCTx func(port, vc int, ch *Channel, paused bool, since sim.Cycle)
+	// PFCRx is called once per (input port, global VC) when PFC is enabled:
+	// whether this receiver currently holds the VC paused (pause issued,
+	// resume not yet sent).
+	PFCRx func(port, vc int, ch *Channel, active bool)
 }
 
 // Audit walks the router's input buffers and output credit counters.
@@ -38,6 +49,9 @@ func (r *Router) Audit(a Auditor) {
 					a.BufFlit(i, v, *vs.at(k))
 				}
 			}
+			if r.pfcOn && a.PFCRx != nil {
+				a.PFCRx(i, v, ip.ch, ip.pfcActive[v])
+			}
 		}
 	}
 	for o := range r.out {
@@ -48,6 +62,9 @@ func (r *Router) Audit(a Auditor) {
 		for g := range op.credits {
 			if a.OutVC != nil {
 				a.OutVC(o, g, op.ch, op.credits[g], op.initial)
+			}
+			if r.pfcOn && a.PFCTx != nil {
+				a.PFCTx(o, g, op.ch, op.paused[g], op.pausedAt[g])
 			}
 		}
 	}
@@ -69,6 +86,13 @@ type IfaceAuditor struct {
 	// OutVC is called once per (global VC, connected injection channel)
 	// with the credits currently held and the initial grant.
 	OutVC func(vc int, ch *Channel, credits, initial int)
+	// PFCTx is called once per (global VC, connected injection channel) when
+	// PFC is enabled: the injection side's pause state for the VC.
+	PFCTx func(vc int, ch *Channel, paused bool, since sim.Cycle)
+	// PFCRx is called once per (global VC, connected ejection channel) when
+	// PFC is enabled: whether the ejection side currently holds the VC
+	// paused.
+	PFCRx func(vc int, ch *Channel, active bool)
 }
 
 // Audit walks the iface's slots, ejection buffers, and credit counters. Like
@@ -93,6 +117,9 @@ func (f *Iface) Audit(a IfaceAuditor) {
 				a.EjectFlit(g, fl)
 			}
 		}
+		if f.pfcOn && a.PFCRx != nil {
+			a.PFCRx(g, ch, f.pfcActive[g])
+		}
 	}
 	for g := range f.credits {
 		ch := f.outCh[g/f.cfg.VCs]
@@ -101,6 +128,9 @@ func (f *Iface) Audit(a IfaceAuditor) {
 		}
 		if a.OutVC != nil {
 			a.OutVC(g, ch, f.credits[g], f.initCred[g])
+		}
+		if f.pfcOn && a.PFCTx != nil {
+			a.PFCTx(g, ch, f.pfcPaused[g], f.pfcPausedAt[g])
 		}
 	}
 }

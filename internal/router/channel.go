@@ -15,11 +15,29 @@ import (
 	"nifdy/internal/packet"
 )
 
-// Credit is a buffer-slot return notification for one virtual channel of the
-// downstream input port.
+// CreditKind distinguishes the frames carried on a channel's reverse wire:
+// ordinary credit returns and the PFC pause/resume frames, which share the
+// wire (and therefore its latency, ordering, and cross-shard determinism).
+type CreditKind uint8
+
+const (
+	// CreditReturn is a buffer-slot return (the zero value: every plain
+	// Credit{VC: v} literal is a credit return).
+	CreditReturn CreditKind = iota
+	// PFCPause tells the transmitter to stop scheduling flits on VC.
+	PFCPause
+	// PFCResume re-enables a paused VC.
+	PFCResume
+)
+
+// Credit is a frame on a channel's reverse wire: a buffer-slot return for
+// one virtual channel of the downstream input port, or (Kind != CreditReturn)
+// a PFC pause/resume notification for that VC.
 type Credit struct {
 	// VC is the global virtual-channel index (class*VCs + vc).
 	VC int
+	// Kind selects credit return (zero) or PFC pause/resume.
+	Kind CreditKind
 }
 
 // Channel bundles a forward flit link with its reverse credit wire. One

@@ -24,6 +24,11 @@ type IfaceConfig struct {
 	DropProb float64
 	// RNG drives loss decisions.
 	RNG *rng.Source
+	// Fabric configures the modern-fabric baselines: PFC pause/resume on the
+	// access channels, and the lossy-wire fault model (drop/corrupt in
+	// flight) that exercises the §6 retransmission path. ECN marking happens
+	// in the routers and is ignored here.
+	Fabric FabricConfig
 	// Mutate injects substrate faults for monitor validation (test-only).
 	Mutate IfaceMutations
 }
@@ -43,6 +48,13 @@ type IfaceMutations struct {
 	// driving it negative — the overcommit the VC-capacity monitor must
 	// catch before the downstream buffer overflows.
 	IgnoreCredit bool
+	// PFCIgnorePause transmits one flit on a paused VC (credits permitting),
+	// violating the PFC no-transmit-while-paused invariant.
+	PFCIgnorePause bool
+	// PFCDropResume clears the ejection side's pause state once without
+	// sending the resume frame, leaving the upstream transmitter paused
+	// forever — the pause/resume pairing violation.
+	PFCDropResume bool
 }
 
 type ifSlot struct {
@@ -85,7 +97,25 @@ type Iface struct {
 	injectedFlits                            int64
 	deliveredFlits, droppedFlits             int64
 
+	// PFC state. The injection side mirrors the pause frames the local
+	// router's input port sent (pfcPaused, with the drain cycle in
+	// pfcPausedAt); the ejection side tracks the pauses it has issued
+	// upstream (pfcActive), with thresholds resolved against BufFlits.
+	pfcOn           bool
+	pfcXOff, pfcXOn int
+	pfcPaused       []bool
+	pfcPausedAt     []sim.Cycle
+	pfcActive       []bool
+
+	// Lossy-wire state: the per-node fault stream and the set of packets
+	// condemned in flight, mapped to the flits not yet accounted (extracted,
+	// discarded on arrival, or dropped at the wire). Membership lookups only;
+	// the map is never iterated, and entries die with their last flit.
+	wireRNG  *rng.Source
+	poisoned map[*packet.Packet]int
+
 	mutDropDone, mutLeakDone, mutCreditDone bool
+	mutPFCPauseDone, mutPFCResumeDone       bool
 
 	// act is the quiescence latch shared by the iface and the NIC that
 	// ticks it: flit arrivals on any ejection channel wake it.
@@ -112,6 +142,27 @@ func NewIface(cfg IfaceConfig) *Iface {
 	f.initCred = make([]int, nvc)
 	for i := range f.slots {
 		f.slots[i].vc = -1
+	}
+	if cfg.Fabric.PFC.Enable {
+		f.pfcOn = true
+		// The ejection side is packet-granular: extract removes whole packets,
+		// so a pause issued while the head packet is still arriving would
+		// block that packet's own tail — deadlock. Worms arrive contiguously
+		// per VC, so occupancy == capacity implies the head packet is
+		// complete and extractable; the ejection buffer therefore pauses only
+		// when full, ignoring the (router-oriented) configured thresholds.
+		f.pfcXOff = cfg.BufFlits
+		f.pfcXOn = cfg.BufFlits - 1
+		f.pfcPaused = make([]bool, nvc)
+		f.pfcPausedAt = make([]sim.Cycle, nvc)
+		f.pfcActive = make([]bool, nvc)
+	}
+	if cfg.Fabric.Lossy() {
+		// One fault stream per node, salted away from every other consumer of
+		// the seed; decisions are drawn at the access link's single writer, so
+		// they are identical for any shard count.
+		f.wireRNG = rng.NewStream(cfg.Fabric.Seed^0x77697265, uint64(cfg.Node))
+		f.poisoned = make(map[*packet.Packet]int)
 	}
 	return f
 }
@@ -145,10 +196,18 @@ func (f *Iface) ConnectIn(ch *Channel) {
 }
 
 // ConnectInClass attaches ch as the ejection channel for one class only.
-// Arrivals on ch wake the owning NIC.
+// Arrivals on ch wake the owning NIC. In lossy mode the iface also installs
+// the wire-fault hook on ch: drops are decided on the writer's (the local
+// router's) tick, and the compensating accounting runs here, on the same
+// shard — access channels never cross shards.
 func (f *Iface) ConnectInClass(c packet.Class, ch *Channel) {
 	f.inCh[c] = ch
 	ch.Flits.Observe(&f.act)
+	if f.wireRNG != nil {
+		ch.Flits.SetFault(func(now sim.Cycle, fl packet.Flit) bool {
+			return f.wireFault(now, ch, fl)
+		})
+	}
 }
 
 // Activity returns the quiescence latch shared by the iface and its NIC.
@@ -260,7 +319,15 @@ func (f *Iface) drainCredits(now sim.Cycle) bool {
 		}
 		for ch.Credits.Ready(now) {
 			cr, _ := ch.Credits.Recv(now)
-			f.credits[cr.VC]++
+			switch cr.Kind {
+			case PFCPause:
+				f.pfcPaused[cr.VC] = true
+				f.pfcPausedAt[cr.VC] = now
+			case PFCResume:
+				f.pfcPaused[cr.VC] = false
+			default:
+				f.credits[cr.VC]++
+			}
 			progress = true
 		}
 	}
@@ -278,6 +345,22 @@ func (f *Iface) drainArrivals(now sim.Cycle) bool {
 		for ch.Flits.Ready(now) {
 			fl, _ := ch.Flits.Recv(now)
 			progress = true
+			if f.poisoned != nil {
+				if rem, ok := f.poisoned[fl.Pkt]; ok {
+					// The packet was condemned in flight (a sibling flit was
+					// dropped, or this one corrupted): discard without
+					// buffering, but return the credit — the slot it charged
+					// is free again.
+					ch.Credits.Send(now, Credit{VC: fl.VC})
+					f.droppedFlits++
+					if rem <= 1 {
+						delete(f.poisoned, fl.Pkt)
+					} else {
+						f.poisoned[fl.Pkt] = rem - 1
+					}
+					continue
+				}
+			}
 			if f.cfg.Mutate.DropArrival && !f.mutDropDone {
 				// Injected fault: the flit vanishes without a buffer slot
 				// or credit, so conservation monitors must trip.
@@ -290,6 +373,10 @@ func (f *Iface) drainArrivals(now sim.Cycle) bool {
 			}
 			vc.q = append(vc.q, fl)
 			f.ejected++
+			if f.pfcOn && !f.pfcActive[fl.VC] && len(vc.q) >= f.pfcXOff {
+				f.pfcActive[fl.VC] = true
+				ch.Credits.Send(now, Credit{VC: fl.VC, Kind: PFCPause})
+			}
 			if fl.Tail() && f.cfg.DropProb > 0 && f.cfg.RNG != nil && f.cfg.RNG.Bool(f.cfg.DropProb) {
 				removed := f.extract(now, fl.VC, fl.Pkt)
 				f.droppedPkts++
@@ -329,7 +416,62 @@ func (f *Iface) extract(now sim.Cycle, g int, p *packet.Packet) int {
 	for i := 0; i < credits; i++ {
 		ch.Credits.Send(now, Credit{VC: g})
 	}
+	if f.pfcOn && f.pfcActive[g] && len(vc.q) <= f.pfcXOn {
+		f.pfcActive[g] = false
+		if f.cfg.Mutate.PFCDropResume && !f.mutPFCResumeDone {
+			// Injected fault: pause state cleared but the resume frame is
+			// never sent — the upstream VC stays paused forever.
+			f.mutPFCResumeDone = true
+		} else {
+			ch.Credits.Send(now, Credit{VC: g, Kind: PFCResume})
+		}
+	}
 	return removed
+}
+
+// wireFault is the lossy-wire hook (link.Link.SetFault) for ejection channel
+// ch. It runs on the writer's (the local router's) tick, at transmission
+// time: returning false drops the flit in flight. A drop or corruption
+// condemns the whole packet — wormhole flits are useless without their
+// siblings — via the poison set, and every condemned flit is compensated
+// (credit returned, loss counted) exactly once, so the conservation monitors
+// hold at every audit instant.
+func (f *Iface) wireFault(now sim.Cycle, ch *Channel, fl packet.Flit) bool {
+	drop := f.cfg.Fabric.WireDrop > 0 && f.wireRNG.Bool(f.cfg.Fabric.WireDrop)
+	corrupt := !drop && f.cfg.Fabric.WireCorrupt > 0 && f.wireRNG.Bool(f.cfg.Fabric.WireCorrupt)
+	if !drop && !corrupt {
+		return true
+	}
+	f.poison(now, ch, fl, drop)
+	return !drop
+}
+
+// poison condemns fl's packet: buffered sibling flits are extracted now
+// (their credits return through the normal path), in-flight and future flits
+// will be discarded-with-credit on arrival, and a wire-dropped flit — which
+// never arrives — has its credit returned here. The remaining-flit count
+// tracks how many of the packet's flits are still unaccounted; the entry is
+// deleted when it reaches zero, which wormhole serialization guarantees.
+func (f *Iface) poison(now sim.Cycle, ch *Channel, fl packet.Flit, dropped bool) {
+	p := fl.Pkt
+	rem, already := f.poisoned[p]
+	if !already {
+		f.droppedPkts++
+		rem = p.Flits()
+		removed := f.extract(now, fl.VC, p)
+		f.droppedFlits += int64(removed)
+		rem -= removed
+	}
+	if dropped {
+		ch.Credits.Send(now, Credit{VC: fl.VC})
+		f.droppedFlits++
+		rem--
+	}
+	if rem <= 0 {
+		delete(f.poisoned, p)
+	} else {
+		f.poisoned[p] = rem
+	}
 }
 
 func (f *Iface) sendFlits(now sim.Cycle) bool {
@@ -360,6 +502,9 @@ func (f *Iface) sendFlits(now sim.Cycle) bool {
 			base := ci * f.cfg.VCs
 			best, bestCred := -1, 0
 			for v := 0; v < f.cfg.VCs; v++ {
+				if f.pfcOn && f.pfcPaused[base+v] {
+					continue
+				}
 				if f.credits[base+v] > bestCred {
 					best, bestCred = base+v, f.credits[base+v]
 				}
@@ -369,6 +514,13 @@ func (f *Iface) sendFlits(now sim.Cycle) bool {
 			}
 			s.vc = best
 			s.p.InjectedAt = now
+		}
+		if f.pfcOn && f.pfcPaused[s.vc] {
+			if !(f.cfg.Mutate.PFCIgnorePause && !f.mutPFCPauseDone && f.credits[s.vc] > 0) {
+				continue
+			}
+			// Injected fault: one flit transmitted on a paused VC.
+			f.mutPFCPauseDone = true
 		}
 		if f.credits[s.vc] <= 0 {
 			if !f.cfg.Mutate.IgnoreCredit || f.mutCreditDone {

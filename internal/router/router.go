@@ -42,6 +42,11 @@ type Config struct {
 	// RNG breaks ties between equally attractive adaptive candidates. If
 	// nil, the first candidate wins (appropriate for deterministic routing).
 	RNG *rng.Source
+	// Fabric configures the modern-fabric baselines: PFC pause/resume with
+	// per-VC thresholds on every channel (hop-by-hop backpressure) and ECN
+	// congestion marking at the egress queues. The lossy-wire knobs are
+	// applied by the interfaces, not here.
+	Fabric FabricConfig
 }
 
 // vcState is one input virtual channel. Its flit queue is a fixed-capacity
@@ -55,6 +60,7 @@ type vcState struct {
 	n       int           // buffered flit count
 	outPort int           // -1 when the head packet has no route yet
 	outVC   int           // global vc index at the downstream input port
+	waitSeq int64         // allocation age: stamp when the front head became unrouted
 	// choices caches the route computation for the packet at the front of
 	// the queue, so a head blocked on VC allocation does not recompute its
 	// route every cycle.
@@ -98,19 +104,23 @@ func (v *vcState) pop() packet.Flit {
 }
 
 type inPort struct {
-	ch  *Channel
-	vcs []vcState
+	ch        *Channel
+	vcs       []vcState
+	pfcActive []bool // per global vc: pause issued upstream, resume pending
 }
 
 type requester struct{ in, vc int }
 
 type outPort struct {
-	ch      *Channel
-	credits []int            // free downstream buffer slots per global vc
-	initial int              // initial credit grant (downstream buffer depth)
-	owner   []*packet.Packet // packet holding each downstream vc, nil = free
-	reqs    []requester      // input vcs currently routed to this port
-	rr      int              // round-robin pointer into reqs
+	ch        *Channel
+	credits   []int            // free downstream buffer slots per global vc
+	initial   int              // initial credit grant (downstream buffer depth)
+	owner     []*packet.Packet // packet holding each downstream vc, nil = free
+	reqs      []requester      // input vcs currently routed to this port
+	rr        int              // round-robin pointer into reqs
+	paused    []bool           // per global vc: PFC pause received, not yet resumed
+	pausedAt  []sim.Cycle      // cycle the pause frame was drained
+	ecnThresh int              // downstream occupancy that triggers ECN marking
 }
 
 // Router is a generic virtual-channel switch.
@@ -121,8 +131,15 @@ type Router struct {
 	buffered int // total flits in input buffers (fast-path skip)
 	unrouted int // input VCs whose front flit is an unrouted head
 	inUsed   []bool
-	allocRR  int
-	act      sim.Activity
+	allocSeq int64       // monotone stamp source for vcState.waitSeq
+	allocQ   []requester // scratch: unrouted heads ordered oldest-first
+
+	// PFC/ECN state resolved from cfg.Fabric.
+	pfcOn           bool
+	pfcXOff, pfcXOn int
+	ecnOn           bool
+
+	act sim.Activity
 }
 
 // New returns a Router for cfg. Ports start unconnected; unconnected ports
@@ -147,9 +164,16 @@ func New(cfg Config) *Router {
 			r.in[i].vcs[v].buf = arena[off : off+cfg.BufFlits]
 			r.in[i].vcs[v].outPort = -1
 		}
+		r.in[i].pfcActive = make([]bool, nvc)
 	}
 	r.out = make([]outPort, cfg.OutPorts)
 	r.inUsed = make([]bool, cfg.InPorts)
+	r.allocQ = make([]requester, 0, cfg.InPorts*nvc)
+	if cfg.Fabric.PFC.Enable {
+		r.pfcOn = true
+		r.pfcXOff, r.pfcXOn = cfg.Fabric.PFC.thresholds(cfg.BufFlits)
+	}
+	r.ecnOn = cfg.Fabric.ECN.Enable
 	return r
 }
 
@@ -191,6 +215,9 @@ func (r *Router) ConnectOut(p int, ch *Channel, downstreamDepth int) {
 	for i := range op.credits {
 		op.credits[i] = downstreamDepth
 	}
+	op.paused = make([]bool, n)
+	op.pausedAt = make([]sim.Cycle, n)
+	op.ecnThresh = r.cfg.Fabric.ECN.threshold(downstreamDepth)
 }
 
 // BufferedFlits reports the total flits held in this router's input buffers
@@ -293,7 +320,13 @@ func (r *Router) receive(now sim.Cycle) bool {
 			v.push(f)
 			r.buffered++
 			if v.n == 1 && f.Head() && v.outPort < 0 {
+				v.waitSeq = r.allocSeq
+				r.allocSeq++
 				r.unrouted++
+			}
+			if r.pfcOn && !ip.pfcActive[f.VC] && v.n >= r.pfcXOff {
+				ip.pfcActive[f.VC] = true
+				ip.ch.Credits.Send(now, Credit{VC: f.VC, Kind: PFCPause})
 			}
 		}
 	}
@@ -305,45 +338,60 @@ func (r *Router) receive(now sim.Cycle) bool {
 		for op.ch.Credits.Ready(now) {
 			c, _ := op.ch.Credits.Recv(now)
 			progress = true
-			op.credits[c.VC]++
-			if op.credits[c.VC] > op.initial {
-				// Credits can never exceed the initial grant.
-				panic(fmt.Sprintf("router %d: credit overflow on out %d vc %d", r.cfg.ID, i, c.VC))
+			switch c.Kind {
+			case PFCPause:
+				op.paused[c.VC] = true
+				op.pausedAt[c.VC] = now
+			case PFCResume:
+				op.paused[c.VC] = false
+			default:
+				op.credits[c.VC]++
+				if op.credits[c.VC] > op.initial {
+					// Credits can never exceed the initial grant.
+					panic(fmt.Sprintf("router %d: credit overflow on out %d vc %d", r.cfg.ID, i, c.VC))
+				}
 			}
 		}
 	}
 	return progress
 }
 
-// allocate assigns an output port and downstream VC to every buffered head
-// flit that lacks one, reporting whether any assignment was made. Input VCs
-// are scanned from a rotating offset so no VC is systematically favored.
+// allocate assigns an output port and downstream VC to buffered head flits
+// that lack one, reporting whether any assignment was made. Heads are served
+// oldest-first by the cycle they became allocatable: a contested VC always
+// goes to the longest-waiting head, so no input can be starved by saturated
+// streams on its neighbors — a rotating scan pointer shared across outputs
+// can resonate with periodic traffic and skip the same head forever.
 //lint:allow(hotalloc) requester-list growth is bounded by the port count; capacity is reached during warm-up
 func (r *Router) allocate() bool {
 	assigned := false
-	nvc := packet.NumClasses * r.cfg.VCs
-	total := len(r.in) * nvc
-	start := r.allocRR % total
-	// Walk the (port, vc) ring with incrementally maintained indices: a
-	// div/mod pair per visited VC is measurable here — this scan is the
-	// router's hottest loop — and stop as soon as no unrouted head remains.
-	nextIn, nextVC := start/nvc, start%nvc
-	for k := 0; k < total && r.unrouted > 0; k++ {
-		inIdx, vcIdx := nextIn, nextVC
-		nextVC++
-		if nextVC == nvc {
-			nextVC = 0
-			nextIn++
-			if nextIn == len(r.in) {
-				nextIn = 0
-			}
-		}
-		idx := inIdx*nvc + vcIdx
-		ip := &r.in[inIdx]
-		v := &ip.vcs[vcIdx]
-		if v.outPort >= 0 || v.n == 0 || !v.front().Head() {
+	// Collect every unrouted head, insertion-sorted by age. The candidate
+	// count is bounded by the input VC total and is usually 1-2; the scan
+	// stops as soon as all unrouted heads are found.
+	heads := r.allocQ[:0]
+	for i := 0; i < len(r.in) && len(heads) < r.unrouted; i++ {
+		ip := &r.in[i]
+		if ip.ch == nil {
 			continue
 		}
+		for vc := range ip.vcs {
+			vs := &ip.vcs[vc]
+			if vs.outPort >= 0 || vs.n == 0 || !vs.front().Head() {
+				continue
+			}
+			j := len(heads)
+			heads = append(heads, requester{i, vc})
+			for j > 0 && r.in[heads[j-1].in].vcs[heads[j-1].vc].waitSeq > vs.waitSeq {
+				heads[j], heads[j-1] = heads[j-1], heads[j]
+				j--
+			}
+		}
+	}
+	r.allocQ = heads
+	for _, c := range heads {
+		inIdx, vcIdx := c.in, c.vc
+		ip := &r.in[inIdx]
+		v := &ip.vcs[vcIdx]
 		p := v.front().Pkt
 		if !v.choicesOK {
 			v.choices = r.cfg.Route(inIdx, p, v.choices[:0])
@@ -392,9 +440,6 @@ func (r *Router) allocate() bool {
 		v.choicesOK = false
 		r.unrouted--
 		assigned = true
-		// Rotate past the winner so competing inputs alternate even when
-		// packet lengths resonate with the scan period.
-		r.allocRR = idx + 1
 	}
 	return assigned
 }
@@ -435,6 +480,9 @@ func (r *Router) send(now sim.Cycle) bool {
 			if v.n == 0 || op.credits[v.outVC] <= 0 {
 				continue
 			}
+			if r.pfcOn && op.paused[v.outVC] {
+				continue
+			}
 			if r.cfg.SAF && !r.tailBuffered(v) {
 				if v.n >= r.cfg.BufFlits {
 					panic(fmt.Sprintf("router %d: SAF buffer (%d flits) smaller than packet %v", r.cfg.ID, r.cfg.BufFlits, v.front().Pkt))
@@ -444,10 +492,21 @@ func (r *Router) send(now sim.Cycle) bool {
 			f := v.pop()
 			r.buffered--
 			f.VC = v.outVC
+			if r.ecnOn && f.Head() && op.initial-op.credits[v.outVC] >= op.ecnThresh {
+				// Egress congestion: the downstream buffer (plus in-flight
+				// flits) for this VC is at the marking threshold. The head
+				// flit is forwarded by exactly one router at a time, so the
+				// mark is race-free and deterministic.
+				f.Pkt.ECN = true
+			}
 			op.ch.Flits.Send(now, f)
 			op.credits[v.outVC]--
 			if ip.ch != nil {
 				ip.ch.Credits.Send(now, Credit{VC: req.vc})
+				if r.pfcOn && ip.pfcActive[req.vc] && v.n <= r.pfcXOn {
+					ip.pfcActive[req.vc] = false
+					ip.ch.Credits.Send(now, Credit{VC: req.vc, Kind: PFCResume})
+				}
 			}
 			r.inUsed[req.in] = true
 			sent = true
@@ -456,6 +515,8 @@ func (r *Router) send(now sim.Cycle) bool {
 				v.outPort, v.outVC = -1, -1
 				if v.n > 0 {
 					// The next packet's head is now at the front.
+					v.waitSeq = r.allocSeq
+					r.allocSeq++
 					r.unrouted++
 				}
 				op.reqs = append(op.reqs[:ri], op.reqs[ri+1:]...)

@@ -121,7 +121,8 @@ func (f *Fly) build() {
 				Route: func(in int, p *packet.Packet, sc []router.Choice) []router.Choice {
 					return f.route(s, p, sc)
 				},
-				RNG: rng.NewStream(f.cfg.Seed^0xB07F1E, uint64(id)),
+				RNG:    rng.NewStream(f.cfg.Seed^0xB07F1E, uint64(id)),
+				Fabric: f.cfg.Iface.FabricFor(),
 			})
 		}
 	}
@@ -132,6 +133,7 @@ func (f *Fly) build() {
 			Node: nd, VCs: f.cfg.VCs, BufFlits: ifBuf,
 			DropProb: f.cfg.Iface.DropProb,
 			RNG:      f.cfg.Iface.LossRNG(uint64(nd)),
+			Fabric:   f.cfg.Iface.FabricFor(),
 			Mutate:   f.cfg.Iface.MutateFor(nd),
 		})
 		// Injection into stage 0, ejection from stage n-1; port dir = the

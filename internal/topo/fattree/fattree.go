@@ -181,9 +181,10 @@ func (t *Tree) build() {
 			t.routers[l][w] = router.New(router.Config{
 				ID: id, InPorts: ports, OutPorts: ports,
 				VCs: t.cfg.VCs, BufFlits: t.cfg.BufFlits,
-				SAF:   t.cfg.Variant == StoreForward,
-				Route: func(in int, p *packet.Packet, s []router.Choice) []router.Choice { return t.route(l, w, p, s) },
-				RNG:   rng.NewStream(t.cfg.Seed^0xFA77EE, uint64(id)),
+				SAF:    t.cfg.Variant == StoreForward,
+				Route:  func(in int, p *packet.Packet, s []router.Choice) []router.Choice { return t.route(l, w, p, s) },
+				RNG:    rng.NewStream(t.cfg.Seed^0xFA77EE, uint64(id)),
+				Fabric: t.cfg.Iface.FabricFor(),
 			})
 		}
 	}
@@ -194,6 +195,7 @@ func (t *Tree) build() {
 			Node: n, VCs: t.cfg.VCs, BufFlits: ifBuf,
 			DropProb: t.cfg.Iface.DropProb,
 			RNG:      t.cfg.Iface.LossRNG(uint64(n)),
+			Fabric:   t.cfg.Iface.FabricFor(),
 			Mutate:   t.cfg.Iface.MutateFor(n),
 		})
 		leaf := t.routers[0][n/k]

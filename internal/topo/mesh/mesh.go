@@ -121,6 +121,7 @@ func (m *Mesh) build() {
 			Route: func(in int, p *packet.Packet, s []router.Choice) []router.Choice {
 				return m.route(n, p, s)
 			},
+			Fabric: m.cfg.Iface.FabricFor(),
 		}
 		if m.cfg.Adaptive {
 			rcfg.RNG = rng.NewStream(m.cfg.Seed^0xADA57, uint64(n))
@@ -133,6 +134,7 @@ func (m *Mesh) build() {
 			Node: n, VCs: m.cfg.VCs, BufFlits: ifBuf,
 			DropProb: m.cfg.Iface.DropProb,
 			RNG:      m.cfg.Iface.LossRNG(uint64(n)),
+			Fabric:   m.cfg.Iface.FabricFor(),
 			Mutate:   m.cfg.Iface.MutateFor(n),
 		})
 		up := router.NewChannel(m.cfg.CPF, 1)

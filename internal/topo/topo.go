@@ -195,6 +195,10 @@ type IfaceOptions struct {
 	// cross-router event lands at least W cycles after its send. 0 or 1 is
 	// the unpadded per-tick model.
 	Window int
+	// Fabric configures the modern-fabric baselines (PFC, ECN, lossy wires);
+	// topologies pass it to every router and interface. Its Seed field is
+	// filled from Seed when left zero, so one seed drives both loss models.
+	Fabric router.FabricConfig
 }
 
 // SyncWindow reports the effective window (at least 1).
@@ -229,4 +233,15 @@ func (o IfaceOptions) LossRNG(node uint64) *rng.Source {
 		return nil
 	}
 	return rng.NewStream(o.Seed^0x10551055, node)
+}
+
+// FabricFor resolves the fabric config a topology hands its routers and
+// interfaces: the configured knobs with the wire-fault seed defaulted to the
+// topology seed.
+func (o IfaceOptions) FabricFor() router.FabricConfig {
+	fc := o.Fabric
+	if fc.Seed == 0 {
+		fc.Seed = o.Seed
+	}
+	return fc
 }

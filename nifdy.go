@@ -43,6 +43,7 @@ import (
 	"nifdy/internal/sim"
 	"nifdy/internal/stats"
 	"nifdy/internal/topo"
+	"nifdy/internal/traffic"
 )
 
 // Core simulation types.
@@ -104,6 +105,10 @@ const (
 	KindBuffersOnly = harness.BuffersOnly
 	// KindNIFDY is the full NIFDY unit.
 	KindNIFDY = harness.NIFDY
+	// KindPFC is the plain NIC over a PFC-paused (lossless) fabric.
+	KindPFC = harness.PFC
+	// KindDCQCN is the DCQCN rate-controlled NIC over an ECN-marking fabric.
+	KindDCQCN = harness.DCQCN
 )
 
 // New assembles a simulation: fabric, one NIC per node, optional processor
@@ -202,6 +207,16 @@ var (
 	ExtFaults = harness.ExtFaults
 	// FaultyFatTree builds a fat tree with dead top-level routers.
 	FaultyFatTree = harness.FaultyFatTree
+	// FabricMesh builds the modern-fabric testbed mesh (DESIGN.md §11).
+	FabricMesh = harness.FabricMesh
+	// FabricExperiment runs the modern-fabric scenario pack: NIFDY vs
+	// PFC/DCQCN/plain under incast, victim, and congestion-spreading
+	// traffic on lossless and lossy wires.
+	FabricExperiment = harness.FabricExperiment
+	// FabricCell runs one (scenario, kind, wire) cell of the pack.
+	FabricCell = harness.FabricCell
+	// FabricTable renders FabricExperiment points.
+	FabricTable = harness.FabricTable
 )
 
 // Experiment option types.
@@ -228,6 +243,24 @@ type (
 	ScaleResult = harness.ScaleResult
 	// ModelCheckOpts parameterizes ModelCheck.
 	ModelCheckOpts = harness.ModelCheckOpts
+	// FabricOpts parameterizes FabricExperiment.
+	FabricOpts = harness.FabricOpts
+	// FabricPoint is one measured cell of FabricExperiment.
+	FabricPoint = harness.FabricPoint
+	// FabricScenario is a modern-fabric stress pattern.
+	FabricScenario = traffic.FabricScenario
+)
+
+// Modern-fabric traffic scenarios (DESIGN.md §11): a seeded fan-in on the
+// center of a width x height mesh, plus the scenario's differentiating
+// side traffic.
+var (
+	// IncastScenario is the fan-in amid uniform background load.
+	IncastScenario = traffic.IncastScenario
+	// VictimScenario adds two victim flows running the hot column's length.
+	VictimScenario = traffic.VictimScenario
+	// SpreadScenario adds row-crossing flows on the feeder rows.
+	SpreadScenario = traffic.SpreadScenario
 )
 
 // Correctness tooling (internal/check): runtime invariant monitors and the

@@ -1,0 +1,61 @@
+#!/bin/sh
+# benchfabric.sh — modern-fabric gate: sharded determinism plus the incast
+# headline (DESIGN.md §11).
+#
+# Runs `nifdy-bench -exp fabric` twice, at 1 and 2 engine shards, and asserts:
+#
+#   1. The full (fabric, loss, nic_kind) metrics array is bit-identical
+#      across the two shard counts — the scenario pack, seeded lossy wires
+#      included, is deterministic under sharding.
+#   2. Under lossless incast, NIFDY's delivered throughput is at least
+#      RATIO_MIN (default 1.05) times the PFC baseline's — the pack's
+#      headline claim.
+#
+# Mirroring benchdiff.sh's MIN_MS noise floor: if the reference (PFC)
+# delivered count is below MIN_PKTS packets (default 1000), the run is a
+# noise-dominated smoke configuration and the ratio is printed but not
+# asserted. Set BENCH_OUT to keep the shards=1 JSON.
+set -eu
+
+RATIO_MIN=${RATIO_MIN:-1.05}
+MIN_PKTS=${MIN_PKTS:-1000}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "benchfabric: fabric scenario pack at shards=1..."
+go run ./cmd/nifdy-bench -exp fabric -shards 1 -json "$tmp/s1.json" > /dev/null
+echo "benchfabric: fabric scenario pack at shards=2..."
+go run ./cmd/nifdy-bench -exp fabric -shards 2 -json "$tmp/s2.json" > /dev/null
+
+if [ -n "${BENCH_OUT:-}" ]; then
+    cp "$tmp/s1.json" "$BENCH_OUT"
+fi
+
+# The first metrics entry of the fabric experiment is the raw FabricPoint
+# array; the rendered table rides behind it.
+points='.experiments | map(select(.name == "fabric")) | .[0].metrics[0]'
+p1=$(jq -cS "$points" "$tmp/s1.json")
+p2=$(jq -cS "$points" "$tmp/s2.json")
+if [ "$p1" != "$p2" ]; then
+    echo "FAIL: fabric metrics differ between shards=1 and shards=2" >&2
+    printf '%s\n' "$p1" > "$tmp/p1.json"
+    printf '%s\n' "$p2" > "$tmp/p2.json"
+    diff "$tmp/p1.json" "$tmp/p2.json" >&2 || true
+    exit 1
+fi
+echo "benchfabric: shards=1 and shards=2 metrics bit-identical"
+
+jq -r -n --slurpfile d "$tmp/s1.json" --argjson min "$RATIO_MIN" --argjson floor "$MIN_PKTS" '
+  ($d[0].experiments | map(select(.name == "fabric")) | .[0].metrics[0]) as $pts |
+  def cell(k): $pts | map(select(.fabric == "incast" and .loss == false and .nic_kind == k)) | .[0].delivered;
+  (cell("NIFDY")) as $n | (cell("PFC")) as $p |
+  ($n / $p * 100 | round / 100) as $ratio |
+  "incast lossless: NIFDY delivered \($n), PFC delivered \($p) (ratio \($ratio), floor \($min))",
+  (if $p < $floor then
+    "benchfabric: PFC delivered below \($floor) packets; ratio noise-dominated, not asserted"
+  elif $n < $p * $min then
+    "FAIL: NIFDY/PFC ratio \($ratio) below \($min)" | halt_error(1)
+  else empty end)
+'
+echo "benchfabric: OK"
