@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale bench-locality bench-fabric profdiff baseline clean
+.PHONY: build test vet lint lint-budget lintdiff race check check-deep bench-smoke bench bench-heavy benchdiff bench-parallel bench-dist bench-scale bench-locality bench-fabric profdiff baseline clean
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,19 @@ vet:
 
 # lint runs nifdy-lint, the domain-specific analyzer suite (DESIGN.md §7):
 # determinism (mapiter, wallclock), zero-allocation (hotalloc), two-phase
-# discipline (latchphase), and pool ownership (poolsafe) over the whole
-# module, including the stale-suppression audit.
+# discipline (latchphase), pool ownership (poolsafe), arena discipline
+# (arena, arenamirror), codec completeness (codecsync), enum exhaustiveness
+# (kindswitch), and shard safety (shardsafe) over the whole module,
+# including the stale-suppression audit.
 lint:
 	$(GO) run ./cmd/nifdy-lint
+
+# lint-budget is the lint wall-clock gate: the whole-module run (load +
+# all analyses) must finish inside BUDGET, so a rule that goes quadratic
+# fails CI loudly instead of quietly eating the tier-1 gate.
+# Override with: make lint-budget BUDGET=30s
+lint-budget:
+	$(GO) run ./cmd/nifdy-lint -budget $(or $(BUDGET),120s)
 
 # lintdiff fails if the diff against BASE (default origin/main, falling back
 # to HEAD~1) introduces //lint:allow suppressions without a reason.

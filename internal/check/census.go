@@ -251,6 +251,7 @@ func (c *Checker) sweep(now sim.Cycle) {
 				continue
 			}
 			projected := v.pfcTx
+			//lint:allow(kindswitch) pfcLastFrame only tracks pause/resume frames; CreditReturn never updates it, so the residue is the no-frames-in-flight identity
 			switch v.pfcLastFrame {
 			case router.PFCPause:
 				projected = true

@@ -1,0 +1,13 @@
+package dist
+
+import "errors"
+
+// ErrUnsupportedFeature marks simulation features the distributed runner
+// cannot host because the wire codec cannot carry them across a process
+// boundary: lossy wires and retransmission (drop state is process-local),
+// and the fabric baselines (PFC pause/resume frames and ECN marks have no
+// frame encoding — creditEvent carries bare VC numbers). Callers classify
+// with errors.Is; the harness wraps this error with the offending feature's
+// name at spec-validation and launch time, so a misconfigured run fails
+// before any worker process is spawned.
+var ErrUnsupportedFeature = errors.New("dist: feature not supported by the wire codec")

@@ -159,6 +159,7 @@ func Build(opts BuildOpts) *Sim {
 	// The fabric-baseline kinds imply their fabric feature: PFC is the plain
 	// NIC plus pause/resume links, DCQCN is the rate-control NIC plus ECN
 	// marking.
+	//lint:allow(kindswitch) only the fabric-baseline kinds imply a fabric feature; the NIFDY-family kinds deliberately leave Fabric zero
 	switch opts.Kind {
 	case PFC:
 		opts.Fabric.PFC.Enable = true
@@ -196,14 +197,11 @@ func Build(opts BuildOpts) *Sim {
 			panic(fmt.Sprintf("harness: %d shards cannot split over %d worker processes (%d nodes)",
 				shards, w.Procs, net.Nodes()))
 		}
-		if opts.Drop > 0 || params.Retransmit || params.DialogTakeover > 0 {
-			panic("harness: Drop/Retransmit/DialogTakeover are not supported by the distributed runner")
-		}
-		if opts.Fabric.PFC.Enable || opts.Fabric.ECN.Enable || opts.Fabric.Lossy() {
-			// The dist codec carries credits as bare VC numbers and flits
-			// without the ECN bit, so PFC frames and congestion marks cannot
-			// cross a process boundary.
-			panic("harness: fabric baselines (PFC/ECN/lossy wires) are not supported by the distributed runner")
+		// Launchers validate specs up front (DistSpec.Validate); the panic is
+		// the backstop for direct Build calls, and carries the typed
+		// dist.ErrUnsupportedFeature so recover-based callers can classify.
+		if err := distFeatureErr(opts, params); err != nil {
+			panic(err)
 		}
 		per := shards / w.Procs
 		eng = sim.NewParallelOwned(shards, w.Rank*per, (w.Rank+1)*per)

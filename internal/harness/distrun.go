@@ -240,6 +240,9 @@ func mustSendJSON(w *dist.Worker, v any) {
 // distLaunch starts procs workers, ships them the spec, and waits for every
 // readiness acknowledgment.
 func distLaunch(spec DistSpec, procs int, shm bool) (*dist.Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	c, err := dist.Launch(procs, dist.LaunchOptions{SharedMem: shm})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"nifdy/internal/core"
+	"nifdy/internal/dist"
+)
+
+// distFeatureErr reports the first feature of an already-defaulted
+// (params resolved, fabric-baseline kinds applied) option set that the
+// distributed runner cannot host, wrapping dist.ErrUnsupportedFeature.
+func distFeatureErr(opts BuildOpts, params core.Config) error {
+	if opts.Drop > 0 || params.Retransmit || params.DialogTakeover > 0 {
+		return fmt.Errorf("harness: Drop/Retransmit/DialogTakeover: %w", dist.ErrUnsupportedFeature)
+	}
+	if opts.Fabric.PFC.Enable || opts.Fabric.ECN.Enable || opts.Fabric.Lossy() {
+		return fmt.Errorf("harness: fabric baselines (PFC/ECN/lossy wires): %w", dist.ErrUnsupportedFeature)
+	}
+	return nil
+}
+
+// CheckDistSupport reports whether opts describes a simulation the
+// distributed runner can host, applying the same parameter defaulting and
+// fabric-kind implication as Build. A nil error means Build(opts) with a
+// Dist worker will not reject the feature set; otherwise the error wraps
+// dist.ErrUnsupportedFeature (classify with errors.Is).
+func CheckDistSupport(opts BuildOpts) error {
+	params := opts.Params
+	if isZeroParams(params) {
+		params = opts.Net.Params
+	}
+	//lint:allow(kindswitch) mirrors Build: only the fabric-baseline kinds imply a fabric feature
+	switch opts.Kind {
+	case PFC:
+		opts.Fabric.PFC.Enable = true
+	case DCQCN:
+		opts.Fabric.ECN.Enable = true
+	}
+	return distFeatureErr(opts, params)
+}
+
+// Validate checks the spec against the distributed runner's feature set
+// before any worker is launched: the fabric must be a flit-accurate network
+// the codec knows by name, and the NIC kind must not imply features the
+// codec cannot carry. Errors wrap dist.ErrUnsupportedFeature.
+func (sp *DistSpec) Validate() error {
+	mk, ok := distNets[sp.Net]
+	if !ok {
+		return fmt.Errorf("harness: fabric %q is not a distributed-runner fabric: %w",
+			sp.Net, dist.ErrUnsupportedFeature)
+	}
+	return CheckDistSupport(BuildOpts{
+		Net:  mk(),
+		Kind: NICKind(sp.Kind),
+		Params: core.Config{
+			O: sp.O, B: sp.B, D: sp.D, W: sp.W,
+			AckOnArrival: sp.AckOnArrival,
+		},
+	})
+}

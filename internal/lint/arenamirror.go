@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// arenamirror: ArenaSize and BindArena must be mirror walks.
+//
+// The shard arena protocol (internal/router/arena.go) is a two-pass carve:
+// every component's ArenaSize accumulates slot counts into an ArenaSizer,
+// NewArena allocates the flat arrays once, and every component's BindArena
+// carves its views out of them — in the same order, for the same fields.
+// The runtime backstop is a panic ("ArenaSize/BindArena mismatch") that
+// fires on the first simulation run that binds the drifted component; this
+// rule moves the check to lint time and names the field:
+//
+//   - a field sized in ArenaSize but never carved in BindArena leaves dead
+//     arena slots (or masks a missing bind);
+//   - a field carved in BindArena but never sized overflows the carve at
+//     runtime;
+//   - sizing fields in one order and carving them in another makes the two
+//     walks impossible to review side by side, which is how the first two
+//     drifts happen.
+//
+// The arena's own package is summarized once (fact store): the constructor
+// maps arena fields to sizer fields (`flits: make([]Flit, s.Flits)`,
+// `a.flitEv.Grow(s.FlitEv)`), and each single-field arena method is a carve
+// method (`flitSlots` carves `flits`). Component BindArena bodies are then
+// read as sequences of carve calls and direct mapped-field uses
+// (`&a.flitEv`, `a.credEv.Bind(...)`).
+func init() {
+	Register(&Rule{
+		Name:  "arenamirror",
+		Doc:   "ArenaSize/BindArena field or order drift (runtime carve panic made static)",
+		Match: tickPathPackage,
+		Run:   runArenaMirror,
+	})
+}
+
+// arenaInfo is the fact computed on an arena-declaring package: how one
+// arena type's fields map to sizer fields, and which of its methods carve
+// which field.
+type arenaInfo struct {
+	sizer        *types.Named      // the sizer struct the constructor consumes
+	fieldToSizer map[string]string // arena field -> sizer field
+	carveToField map[string]string // arena method -> arena field it carves
+}
+
+var arenaMapsKey = newFactKey("arenamirror.maps")
+
+// arenaMaps returns the arena summaries of pkg, keyed by arena type.
+func arenaMaps(l *Loader, pkg *Package) map[*types.Named]*arenaInfo {
+	v := l.fact(arenaMapsKey, pkg, func(pkg *Package) any {
+		return computeArenaMaps(pkg)
+	})
+	m, _ := v.(map[*types.Named]*arenaInfo)
+	return m
+}
+
+func computeArenaMaps(pkg *Package) map[*types.Named]*arenaInfo {
+	infos := map[*types.Named]*arenaInfo{}
+
+	// Pass 1: constructors. A function whose body fills a keyed composite
+	// literal of a local named struct from a parameter's fields is the
+	// allocation half: each `field: make(..., s.X)` element and each
+	// `a.field.Grow(s.X)`-shaped statement maps an arena field to its sizer
+	// field.
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			params := paramSet(pkg, fd)
+			if len(params) == 0 {
+				continue
+			}
+			var found *types.Named
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				named := namedOf(pkg.Info.TypeOf(lit))
+				if named == nil || named.Obj().Pkg() != pkg.Types {
+					return true
+				}
+				for _, el := range lit.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					sfield, styp := paramFieldRef(pkg, params, kv.Value)
+					if sfield == "" {
+						continue
+					}
+					info := infoFor(infos, named)
+					info.sizer, info.fieldToSizer[key.Name] = styp, sfield
+					found = origin(named)
+				}
+				return true
+			})
+			if found == nil {
+				continue
+			}
+			// Statement-level mappings in the same constructor: a statement
+			// touching exactly one arena field and one sizer field pairs them
+			// (a.flitEv.Grow(s.FlitEv)). Field-only statements (a.flitEv.
+			// Alloc()) map nothing.
+			info := infos[found]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				stmt, ok := n.(ast.Stmt)
+				if !ok {
+					return true
+				}
+				switch stmt.(type) {
+				case *ast.ExprStmt, *ast.AssignStmt:
+				default:
+					return true
+				}
+				afields := arenaFieldRefs(pkg, found, stmt)
+				sfield, _ := paramFieldRef(pkg, params, stmt)
+				if len(afields) == 1 && sfield != "" {
+					if _, mapped := info.fieldToSizer[afields[0].name]; !mapped {
+						info.fieldToSizer[afields[0].name] = sfield
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: carve methods. A method of a discovered arena type whose body
+	// touches exactly one mapped field carves that field; methods touching
+	// none (claim) or several are protocol plumbing, not carves.
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverType(&Pass{Pkg: pkg}, fd)
+			if recv == nil {
+				continue
+			}
+			info, ok := infos[origin(recv)]
+			if !ok {
+				continue
+			}
+			refs := arenaFieldRefs(pkg, origin(recv), fd.Body)
+			mapped := map[string]bool{}
+			for _, r := range refs {
+				if _, ok := info.fieldToSizer[r.name]; ok {
+					mapped[r.name] = true
+				}
+			}
+			if len(mapped) == 1 {
+				for name := range mapped {
+					info.carveToField[fd.Name.Name] = name
+				}
+			}
+		}
+	}
+	return infos
+}
+
+func infoFor(infos map[*types.Named]*arenaInfo, named *types.Named) *arenaInfo {
+	key := origin(named)
+	if info, ok := infos[key]; ok {
+		return info
+	}
+	info := &arenaInfo{
+		fieldToSizer: map[string]string{},
+		carveToField: map[string]string{},
+	}
+	infos[key] = info
+	return info
+}
+
+// paramSet collects fd's parameter objects.
+func paramSet(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				set[obj] = true
+			}
+		}
+	}
+	return set
+}
+
+// paramFieldRef finds a field selection rooted at one of params inside n
+// (s.Flits in make([]Flit, s.Flits)) and returns the field name and the
+// parameter's named struct type.
+func paramFieldRef(pkg *Package, params map[types.Object]bool, n ast.Node) (string, *types.Named) {
+	var field string
+	var typ *types.Named
+	ast.Inspect(n, func(n ast.Node) bool {
+		if field != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !params[pkg.Info.Uses[id]] {
+			return true
+		}
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			field = sel.Sel.Name
+			typ = namedOf(pkg.Info.Uses[id].Type())
+			return false
+		}
+		return true
+	})
+	return field, typ
+}
+
+// arenaFieldRef is one selection of an arena struct field, in source order.
+type arenaFieldRef struct {
+	name string
+	pos  token.Pos
+}
+
+// arenaFieldRefs lists the selections of arena's fields inside n.
+func arenaFieldRefs(pkg *Package, arena *types.Named, n ast.Node) []arenaFieldRef {
+	var refs []arenaFieldRef
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if recv := namedOf(s.Recv()); recv == nil || origin(recv) != origin(arena) {
+			return true
+		}
+		refs = append(refs, arenaFieldRef{name: sel.Sel.Name, pos: sel.Pos()})
+		return true
+	})
+	return refs
+}
+
+// namedOf unwraps pointers to the named type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return origin(named)
+}
+
+func runArenaMirror(p *Pass) {
+	type pair struct{ size, bind *ast.FuncDecl }
+	pairs := map[*types.Named]*pair{}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "ArenaSize" && fd.Name.Name != "BindArena" {
+				continue
+			}
+			recv := receiverType(p, fd)
+			if recv == nil {
+				continue
+			}
+			pr := pairs[origin(recv)]
+			if pr == nil {
+				pr = &pair{}
+				pairs[origin(recv)] = pr
+			}
+			if fd.Name.Name == "ArenaSize" {
+				pr.size = fd
+			} else {
+				pr.bind = fd
+			}
+		}
+	}
+	for recv, pr := range pairs {
+		if pr.size == nil || pr.bind == nil {
+			continue // one-sided components are someone else's protocol
+		}
+		p.checkMirror(recv, pr.size, pr.bind)
+	}
+}
+
+func (p *Pass) checkMirror(recv *types.Named, size, bind *ast.FuncDecl) {
+	sizerPrm := firstPtrStructParam(p, size)
+	arenaPrm := firstPtrStructParam(p, bind)
+	if sizerPrm == nil || arenaPrm == nil {
+		return
+	}
+	arenaNamed := namedOf(arenaPrm.Type())
+	arenaPkgPath := arenaNamed.Obj().Pkg().Path()
+	arenaPkg, ok := p.Loader.pkgs[arenaPkgPath]
+	if !ok {
+		return // arena type's package not loaded: nothing to mirror against
+	}
+	info := arenaMaps(p.Loader, arenaPkg)[arenaNamed]
+	if info == nil || info.sizer != namedOf(sizerPrm.Type()) {
+		return // no constructor summary, or the pair spans unrelated protocols
+	}
+
+	// Sized fields, in first-use order: `s.X += ...` / `s.X = ...` writes.
+	var sized []string
+	sizedSet := map[string]bool{}
+	ast.Inspect(size.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || p.Pkg.Info.Uses[id] != sizerPrm {
+				continue
+			}
+			if s, ok := p.Pkg.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			if !sizedSet[sel.Sel.Name] {
+				sizedSet[sel.Sel.Name] = true
+				sized = append(sized, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+
+	// Carved fields, in first-use order, mapped to sizer field names: carve
+	// method calls (a.flitSlots(n)) and direct mapped-field selections
+	// (&a.flitEv, a.credEv.Bind(...)).
+	type carve struct {
+		field string
+		pos   token.Pos
+	}
+	var carved []carve
+	carvedSet := map[string]bool{}
+	record := func(field string, pos token.Pos) {
+		if !carvedSet[field] {
+			carvedSet[field] = true
+			carved = append(carved, carve{field: field, pos: pos})
+		}
+	}
+	ast.Inspect(bind.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || p.Pkg.Info.Uses[id] != arenaPrm {
+			return true
+		}
+		s, ok := p.Pkg.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		switch s.Kind() {
+		case types.MethodVal:
+			if f, ok := info.carveToField[sel.Sel.Name]; ok {
+				record(info.fieldToSizer[f], sel.Pos())
+			}
+		case types.FieldVal:
+			if f, ok := info.fieldToSizer[sel.Sel.Name]; ok {
+				record(f, sel.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, f := range sized {
+		if !carvedSet[f] {
+			p.Reportf(bind.Pos(),
+				"arena mirror: %s.ArenaSize sizes %s but BindArena never carves it — dead arena slots (or a missing bind)",
+				recv.Obj().Name(), f)
+		}
+	}
+	for _, c := range carved {
+		if !sizedSet[c.field] {
+			p.Reportf(c.pos,
+				"arena mirror: %s.BindArena carves %s but ArenaSize never sizes it — the carve will overflow at runtime",
+				recv.Obj().Name(), c.field)
+		}
+	}
+
+	// Order: restrict both walks to the common fields and find the first
+	// divergence.
+	var a, b []string
+	for _, f := range sized {
+		if carvedSet[f] {
+			a = append(a, f)
+		}
+	}
+	for _, c := range carved {
+		if sizedSet[c.field] {
+			b = append(b, c.field)
+		}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			p.Reportf(bind.Pos(),
+				"arena mirror: %s.BindArena carves %s before %s but ArenaSize sizes %s first — sizing and binding walks must mirror",
+				recv.Obj().Name(), b[i], a[i], a[i])
+			break
+		}
+	}
+}
+
+// firstPtrStructParam returns fd's first parameter whose type is a pointer
+// to a named struct.
+func firstPtrStructParam(p *Pass, fd *ast.FuncDecl) *types.Var {
+	obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		prm := sig.Params().At(i)
+		ptr, ok := prm.Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			if _, ok := named.Underlying().(*types.Struct); ok {
+				return prm
+			}
+		}
+	}
+	return nil
+}

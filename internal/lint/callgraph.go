@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Static call graph over the module-local loader: the shared traversal layer
+// under hotalloc's allocation walk and shardsafe's dataflow pass.
+//
+// Nodes are *types.Func (generic instantiations mapped to their declared
+// origin); edges are the statically resolvable calls of a function's body —
+// plain calls, selector calls, and instantiated generics. Interface dispatch
+// and function values have no static callee and simply contribute no edge,
+// exactly the boundary the runtime monitors (DESIGN.md §6) cover instead.
+// Edges are memoized on the loader, so a callee shared by many roots and
+// many rules is scanned once per run.
+
+// callee is one static call-graph edge: the resolved target and the call
+// site it was resolved from (for diagnostics that want to point at the
+// call rather than the callee's body).
+type callee struct {
+	fn   *types.Func
+	call *ast.CallExpr
+}
+
+// Callees returns the statically resolvable calls made by fn's body, in
+// source order. It returns nil for functions without module-local syntax
+// (stdlib, interface methods, funcs without bodies).
+func (l *Loader) Callees(fn *types.Func) []callee {
+	if fn == nil {
+		return nil
+	}
+	fn = fn.Origin()
+	if edges, ok := l.callees[fn]; ok {
+		return edges
+	}
+	if l.callees == nil {
+		l.callees = map[*types.Func][]callee{}
+	}
+	l.callees[fn] = nil // break recursion through cycles
+	fd := l.FuncDecl(fn)
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	pkg, ok := l.pkgs[fn.Pkg().Path()]
+	if !ok {
+		return nil
+	}
+	var edges []callee
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := callIdent(call.Fun)
+		if !ok {
+			return true
+		}
+		if target, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			edges = append(edges, callee{fn: target.Origin(), call: call})
+		}
+		return true
+	})
+	l.callees[fn] = edges
+	return edges
+}
+
+// callIdent extracts the identifier a call resolves through: plain calls
+// (f(...)) and selector calls (x.f(...)). Anything else (call of a call,
+// index expression) is dynamic.
+func callIdent(fun ast.Expr) (*ast.Ident, bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f, true
+	case *ast.SelectorExpr:
+		return f.Sel, true
+	case *ast.IndexExpr: // generic instantiation: f[T](...)
+		return callIdent(f.X)
+	case *ast.IndexListExpr: // f[T1, T2](...)
+		return callIdent(f.X)
+	}
+	return nil, false
+}
+
+// callWalk is one rule's traversal state over the call graph: a visited set
+// shared across every root of a Pass, so a function reachable from many Tick
+// trees is visited (and can report) exactly once per pass.
+type callWalk struct {
+	l       *Loader
+	visited map[*types.Func]bool
+}
+
+func newCallWalk(l *Loader) *callWalk {
+	return &callWalk{l: l, visited: map[*types.Func]bool{}}
+}
+
+// from walks the static call graph from root in depth-first source order,
+// calling visit once per newly reached function that has module-local
+// syntax. visit receives the function and its declaration.
+func (w *callWalk) from(root *types.Func, visit func(fn *types.Func, decl *ast.FuncDecl)) {
+	if root == nil {
+		return
+	}
+	root = root.Origin()
+	if w.visited[root] {
+		return
+	}
+	w.visited[root] = true
+	if fd := w.l.FuncDecl(root); fd != nil && fd.Body != nil {
+		visit(root, fd)
+	}
+	for _, e := range w.l.Callees(root) {
+		w.from(e.fn, visit)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Exit codes of the nifdy-lint command.
@@ -27,6 +28,7 @@ func CLI(args []string, stdout, stderr io.Writer) int {
 	ruleNames := fs.String("rules", "", "comma-separated rules to run (default: all)")
 	chdir := fs.String("C", ".", "module root or any directory inside it")
 	list := fs.Bool("list", false, "list registered rules and exit")
+	budget := fs.Duration("budget", 0, "fail if loading+analysis exceeds this wall-clock budget (0: no budget)")
 	if err := fs.Parse(args); err != nil {
 		return ExitError
 	}
@@ -76,6 +78,11 @@ func CLI(args []string, stdout, stderr io.Writer) int {
 		sort.Strings(paths)
 	}
 
+	// The budget clock covers load + analysis, the part that scales with the
+	// module: the suite must stay fast enough to run on every push (CI's
+	// lint wall-clock budget step), so an analyzer that goes quadratic fails
+	// loudly here instead of quietly eating the gate.
+	start := time.Now()
 	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := l.Load(path)
@@ -87,8 +94,14 @@ func CLI(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := Run(l, pkgs, rules, full)
+	elapsed := time.Since(start)
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d.String())
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "nifdy-lint: load+analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		return ExitError
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "nifdy-lint: %d finding(s)\n", len(diags))

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// codecsync: the dist wire codec must carry every field of the structs it
+// serializes.
+//
+// The multi-process engine's determinism contract (DESIGN.md §9) rests on
+// every worker reconstructing bit-identical packets from the exchange
+// frames. A field added to packet.Packet (or to the frame struct itself)
+// that the codec does not carry desynchronizes workers silently: the sender
+// computes with the field, the receiver sees its zero value, and the drift
+// surfaces cycles later as a heatmap divergence — or not at all until a
+// fabric feature depends on it. This rule makes the field lists structural:
+//
+//   - For every encodeX/decodeX function pair sharing a pointer-to-struct
+//     parameter type T, every accessible leaf field of T (recursing through
+//     named struct fields such as Packet.Meta) must be read in encodeX and
+//     written in decodeX. Reading or assigning a whole sub-struct covers its
+//     leaves; passing &x.F to a sub-codec covers F.
+//
+//   - Section element structs — named local struct types appearing as the
+//     element of one of T's slice fields (flitEvent, creditEvent, ...) —
+//     must likewise have every field read in encodeX and written in decodeX
+//     (through range variables, indexed element pointers, or composite
+//     literals).
+//
+// Dropping a field read from encodePacket therefore fails `make lint` with
+// a diagnostic naming the field, instead of failing a distributed run at
+// simulation time.
+func init() {
+	Register(&Rule{
+		Name: "codecsync",
+		Doc:  "dist codec field drift: encode/decode pair misses a field of the struct it serializes",
+		Match: func(path string) bool {
+			return path == "nifdy/internal/dist" || hasPrefix(path, "nifdy/internal/linttest/")
+		},
+		Run: runCodecSync,
+	})
+}
+
+func runCodecSync(p *Pass) {
+	type half struct {
+		decl   *ast.FuncDecl
+		params map[*types.Named]*types.Var // named-struct pointer params
+	}
+	encs := map[string]half{}
+	decs := map[string]half{}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			var into map[string]half
+			var suffix string
+			switch {
+			case strings.HasPrefix(name, "encode"):
+				into, suffix = encs, name[len("encode"):]
+			case strings.HasPrefix(name, "decode"):
+				into, suffix = decs, name[len("decode"):]
+			default:
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			h := half{decl: fd, params: map[*types.Named]*types.Var{}}
+			sig := obj.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				prm := sig.Params().At(i)
+				ptr, ok := prm.Type().(*types.Pointer)
+				if !ok {
+					continue
+				}
+				named, ok := ptr.Elem().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Struct); ok {
+					h.params[origin(named)] = prm
+				}
+			}
+			into[suffix] = h
+		}
+	}
+
+	for suffix, enc := range encs {
+		dec, ok := decs[suffix]
+		if !ok {
+			continue
+		}
+		// The serialized type is the named struct both halves take by
+		// pointer (the enc/dec cursor types appear on one side only).
+		for named, encPrm := range enc.params {
+			decPrm, ok := dec.params[named]
+			if !ok {
+				continue
+			}
+			p.checkCodecPair(named, enc.decl, encPrm, dec.decl, decPrm)
+		}
+	}
+}
+
+// checkCodecPair verifies one (struct, encode, decode) triple.
+func (p *Pass) checkCodecPair(named *types.Named, encDecl *ast.FuncDecl, encPrm *types.Var, decDecl *ast.FuncDecl, decPrm *types.Var) {
+	leaves := codecLeaves(named, p.Pkg.Types, "")
+	reads := p.paramFieldPaths(encDecl, encPrm, false)
+	writes := p.paramFieldPaths(decDecl, decPrm, true)
+	for _, leaf := range leaves {
+		if !pathCovered(reads, leaf) {
+			p.Reportf(encDecl.Pos(),
+				"codec drift: field %s.%s is never read in %s — every field must be carried on the wire (internal/dist/codec.go contract)",
+				named.Obj().Name(), leaf, encDecl.Name.Name)
+		}
+		if !pathCovered(writes, leaf) {
+			p.Reportf(decDecl.Pos(),
+				"codec drift: field %s.%s is never written in %s — every field must be reconstructed from the wire",
+				named.Obj().Name(), leaf, decDecl.Name.Name)
+		}
+	}
+
+	// Section element structs: named local struct types that are elements of
+	// the pair struct's slice fields.
+	st := named.Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		sl, ok := st.Field(i).Type().Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		elem, ok := sl.Elem().(*types.Named)
+		if !ok || elem.Obj().Pkg() != p.Pkg.Types {
+			continue
+		}
+		est, ok := elem.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		encTouched := p.typedFieldAccesses(encDecl, elem, false)
+		decTouched := p.typedFieldAccesses(decDecl, elem, true)
+		for j := 0; j < est.NumFields(); j++ {
+			f := est.Field(j).Name()
+			if !encTouched[f] {
+				p.Reportf(encDecl.Pos(),
+					"codec drift: section field %s.%s is never read in %s",
+					elem.Obj().Name(), f, encDecl.Name.Name)
+			}
+			if !decTouched[f] {
+				p.Reportf(decDecl.Pos(),
+					"codec drift: section field %s.%s is never written in %s",
+					elem.Obj().Name(), f, decDecl.Name.Name)
+			}
+		}
+	}
+}
+
+// codecLeaves lists the dotted paths of the fields a codec must carry:
+// accessible fields of named (all fields for structs declared in local, only
+// exported ones otherwise), recursing through fields whose type is itself a
+// named struct with accessible fields.
+func codecLeaves(named *types.Named, local *types.Package, prefix string) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Pkg() != local && !f.Exported() {
+			continue
+		}
+		path := f.Name()
+		if prefix != "" {
+			path = prefix + "." + path
+		}
+		if sub, ok := f.Type().(*types.Named); ok {
+			if _, isStruct := sub.Underlying().(*types.Struct); isStruct {
+				if subLeaves := codecLeaves(sub, local, path); len(subLeaves) > 0 {
+					out = append(out, subLeaves...)
+					continue
+				}
+			}
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// pathCovered reports whether leaf is covered by any recorded access path:
+// exact, or an ancestor (accessing p.Meta covers Meta.MsgID).
+func pathCovered(paths map[string]bool, leaf string) bool {
+	if paths[leaf] {
+		return true
+	}
+	for i := len(leaf) - 1; i > 0; i-- {
+		if leaf[i] == '.' && paths[leaf[:i]] {
+			return true
+		}
+	}
+	return false
+}
+
+// paramFieldPaths collects the dotted field paths rooted at prm that decl's
+// body accesses. With writesOnly, only assignment targets and &-escapes
+// count (the decode half must store, not merely mention); otherwise any
+// selector counts (the encode half reads).
+func (p *Pass) paramFieldPaths(decl *ast.FuncDecl, prm *types.Var, writesOnly bool) map[string]bool {
+	paths := map[string]bool{}
+	record := func(e ast.Expr) {
+		if path, ok := p.fieldPath(e, prm); ok {
+			paths[path] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if writesOnly {
+				for _, lhs := range n.Lhs {
+					record(stripElem(lhs))
+				}
+			}
+		case *ast.UnaryExpr:
+			// &p.F hands the field to a sub-codec by pointer: that is both a
+			// read (encode side serializes through it) and a write (decode
+			// side fills it).
+			if n.Op.String() == "&" {
+				record(stripElem(n.X))
+			}
+		case *ast.SelectorExpr:
+			if !writesOnly {
+				// Record the maximal chain only: p.Meta.MsgID covers exactly
+				// that leaf, not all of Meta. On an unresolvable chain (method
+				// value, package qualifier) keep descending — a rooted field
+				// may sit underneath.
+				if path, ok := p.fieldPath(n, prm); ok {
+					paths[path] = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return paths
+}
+
+// fieldPath resolves e to a dotted field path rooted at the parameter root,
+// following only field selections (p.Meta.MsgID -> "Meta.MsgID").
+func (p *Pass) fieldPath(e ast.Expr, root *types.Var) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		// The bare parameter: an empty path (whole-struct access).
+		if p.Pkg.Info.Uses[e] == root {
+			return "", true
+		}
+	case *ast.ParenExpr:
+		return p.fieldPath(e.X, root)
+	case *ast.SelectorExpr:
+		sel, ok := p.Pkg.Info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		base, ok := p.fieldPath(e.X, root)
+		if !ok {
+			return "", false
+		}
+		if base == "" {
+			return e.Sel.Name, true
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// stripElem unwraps element/deref syntax so f.Flits[i] and *p resolve to the
+// selector underneath.
+func stripElem(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// typedFieldAccesses collects the field names of elem that decl's body
+// touches through ANY expression of that type — range variables, indexed
+// element pointers, locals. With writesOnly, assignment targets, &-escapes,
+// and composite-literal fields count; otherwise any selector does.
+func (p *Pass) typedFieldAccesses(decl *ast.FuncDecl, elem *types.Named, writesOnly bool) map[string]bool {
+	touched := map[string]bool{}
+	isElem := func(e ast.Expr) bool {
+		t := p.Pkg.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && origin(named) == origin(elem)
+	}
+	recordSel := func(e ast.Expr) {
+		sel, ok := stripElem(e).(*ast.SelectorExpr)
+		if !ok || !isElem(sel.X) {
+			return
+		}
+		if s, ok := p.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			touched[sel.Sel.Name] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if writesOnly {
+				for _, lhs := range n.Lhs {
+					recordSel(lhs)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				recordSel(n.X)
+			}
+		case *ast.SelectorExpr:
+			if !writesOnly {
+				recordSel(n)
+			}
+		case *ast.CompositeLit:
+			if writesOnly && isElem(n) {
+				st := elem.Underlying().(*types.Struct)
+				if len(n.Elts) > 0 && len(n.Elts) == st.NumFields() {
+					if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+						for i := 0; i < st.NumFields(); i++ {
+							touched[st.Field(i).Name()] = true
+						}
+						return true
+					}
+				}
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							touched[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return touched
+}

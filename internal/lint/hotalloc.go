@@ -153,23 +153,6 @@ func (p *Pass) walkHot(fn *types.Func, visited map[*types.Func]bool) {
 	ast.Inspect(fd.Body, inspect)
 }
 
-// callIdent extracts the identifier a call resolves through: plain calls
-// (f(...)) and selector calls (x.f(...)). Anything else (call of a call,
-// index expression) is dynamic.
-func callIdent(fun ast.Expr) (*ast.Ident, bool) {
-	switch f := fun.(type) {
-	case *ast.Ident:
-		return f, true
-	case *ast.SelectorExpr:
-		return f.Sel, true
-	case *ast.IndexExpr: // generic instantiation: f[T](...)
-		return callIdent(f.X)
-	case *ast.IndexListExpr: // f[T1, T2](...)
-		return callIdent(f.X)
-	}
-	return nil, false
-}
-
 // checkBoxing flags non-pointer concrete arguments passed to interface
 // parameters: the conversion heap-allocates the value's box.
 func (p *Pass) checkBoxing(info *types.Info, call *ast.CallExpr, callee *types.Func, root *types.Func) {

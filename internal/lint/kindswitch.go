@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// kindswitch: default-less switches over module enums must be exhaustive.
+//
+// The module's behavioral forks all hang off small iota enums —
+// packet.Kind/Class/GrantKind, router.CreditKind, harness.NICKind. A switch
+// that dispatches on one and lists only some members silently no-ops for
+// the rest, which is exactly how a new NIC kind or credit frame type ships
+// half-wired: the build succeeds, the default path does nothing, and the
+// miss surfaces as a behavioral diff two layers up. This rule makes member
+// lists structural:
+//
+//   - An enum is a module-local named integer type whose declared constants
+//     form a dense value run 0..n-1 with n >= 2 (iota blocks). Types like
+//     sim.Cycle (sparse sentinel constants) are naturally excluded.
+//
+//   - A switch with a tag of enum type and no default clause must cover
+//     every member. Coverage is by constant value, so aliases count.
+//
+// A default clause opts out: it states that the residue is handled (or
+// deliberately ignored) in one greppable place. Switches with non-constant
+// case expressions are out of scope. Deliberately partial switches carry a
+// //lint:allow(kindswitch) naming why the residue is impossible.
+func init() {
+	Register(&Rule{
+		Name:  "kindswitch",
+		Doc:   "default-less switch over a module iota enum misses members (silent no-op dispatch)",
+		Match: tickPathPackage,
+		Run:   runKindSwitch,
+	})
+}
+
+// enumInfo is the fact computed per package: for each enum type, the member
+// names indexed by constant value.
+type enumInfo struct {
+	members []string
+}
+
+var enumFactKey = newFactKey("kindswitch.enums")
+
+func enumsOf(l *Loader, pkg *Package) map[*types.Named]*enumInfo {
+	v := l.fact(enumFactKey, pkg, func(pkg *Package) any {
+		return computeEnums(pkg)
+	})
+	m, _ := v.(map[*types.Named]*enumInfo)
+	return m
+}
+
+func computeEnums(pkg *Package) map[*types.Named]*enumInfo {
+	byType := map[*types.Named]map[int64]string{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		// Untyped constants (NumClasses = 2) have a basic type, not the
+		// enum's named type: they are counts, not members.
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() != pkg.Types {
+			continue
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		m := byType[origin(named)]
+		if m == nil {
+			m = map[int64]string{}
+			byType[origin(named)] = m
+		}
+		if _, taken := m[v]; !taken { // first name wins; aliases merge
+			m[v] = name
+		}
+	}
+	out := map[*types.Named]*enumInfo{}
+	for t, m := range byType {
+		n := len(m)
+		if n < 2 {
+			continue
+		}
+		members := make([]string, n)
+		dense := true
+		for v, name := range m {
+			if v < 0 || v >= int64(n) {
+				dense = false
+				break
+			}
+			members[v] = name
+		}
+		if dense {
+			out[t] = &enumInfo{members: members}
+		}
+	}
+	return out
+}
+
+func runKindSwitch(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				p.checkEnumSwitch(sw)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkEnumSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return // condition-list switch, not a dispatch
+	}
+	named := namedOf(p.Pkg.Info.TypeOf(sw.Tag))
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	epkg, ok := p.Loader.pkgs[named.Obj().Pkg().Path()]
+	if !ok {
+		return // not a module-local type
+	}
+	info := enumsOf(p.Loader, epkg)[named]
+	if info == nil {
+		return // not an enum
+	}
+	covered := map[int64]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			return // a default clause handles the residue explicitly
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: out of scope
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				return
+			}
+			covered[v] = true
+		}
+	}
+	var missing []string
+	for v, name := range info.members {
+		if !covered[int64(v)] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s — add the cases or an explicit default",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}

@@ -111,6 +111,11 @@ func TestGoldenLatchphase(t *testing.T) { runGolden(t, "latchphase") }
 func TestGoldenPoolsafe(t *testing.T)   { runGolden(t, "poolsafe") }
 func TestGoldenArena(t *testing.T)      { runGolden(t, "arena") }
 
+func TestGoldenCodecsync(t *testing.T)   { runGolden(t, "codecsync") }
+func TestGoldenArenamirror(t *testing.T) { runGolden(t, "arenamirror") }
+func TestGoldenKindswitch(t *testing.T)  { runGolden(t, "kindswitch") }
+func TestGoldenShardsafe(t *testing.T)   { runGolden(t, "shardsafe") }
+
 // --- suppression audit ------------------------------------------------------
 
 func TestSuppressAudit(t *testing.T) {
@@ -167,7 +172,7 @@ func TestAllowParsing(t *testing.T) {
 		t.Errorf("multi-rule reasonless allow parsed as %v", m)
 	}
 	for _, not := range []string{
-		"// lint:allow(mapiter) spaced out",  // directives have no space
+		"// lint:allow(mapiter) spaced out", // directives have no space
 		"//lint:allow mapiter missing parens",
 		"//lint:ignore(mapiter) wrong verb",
 	} {
@@ -213,7 +218,10 @@ func TestAllowCovers(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	rs := Rules()
-	want := []string{"arena", "hotalloc", "latchphase", "mapiter", "poolsafe", "wallclock"}
+	want := []string{
+		"arena", "arenamirror", "codecsync", "hotalloc", "kindswitch",
+		"latchphase", "mapiter", "poolsafe", "shardsafe", "wallclock",
+	}
 	if len(rs) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rs), len(want))
 	}
@@ -257,7 +265,7 @@ func TestTickPathPackage(t *testing.T) {
 	}{
 		{"nifdy/internal/core", true},
 		{"nifdy/internal/sim", true},
-		{"nifdy/internal/flow", true}, // the flow engine's solve path is swept too
+		{"nifdy/internal/flow", true},             // the flow engine's solve path is swept too
 		{"nifdy/internal/linttest/mapiter", true}, // golden fixtures are swept
 		{"nifdy/internal/lint", false},            // the analyzer itself is not
 		{"nifdy/internal/lint/sub", false},

@@ -38,6 +38,9 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // cycle guard
+
+	facts   map[*factKey]map[*Package]any // memoized per-package analysis facts
+	callees map[*types.Func][]callee      // memoized static call graph edges
 }
 
 // NewLoader returns a Loader for the module rooted at root (the directory

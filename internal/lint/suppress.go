@@ -19,6 +19,27 @@ import (
 
 var allowRe = regexp.MustCompile(`^//lint:allow\(([a-zA-Z0-9_,-]+)\)\s*(.*)$`)
 
+// parseAllow parses one comment's text as an allow directive. ok is false
+// when the text is not an allow at all (wrong verb, spaced-out directive,
+// missing parens, or no valid rule name inside them); empty rule segments
+// (`//lint:allow(a,,b)`) are dropped. FuzzSuppress holds this parser to its
+// grammar, and the lintdiff CI audit greps for the same shape.
+func parseAllow(text string) (rules []string, reason string, ok bool) {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	for _, r := range strings.Split(m[1], ",") {
+		if r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, "", false
+	}
+	return rules, strings.TrimSpace(m[2]), true
+}
+
 // allow is one parsed //lint:allow comment.
 type allow struct {
 	file   string
@@ -77,16 +98,16 @@ func (s *suppressions) addPackage(fset *token.FileSet, pkg *Package) {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				rules, reason, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				a := &allow{
 					file:   pos.Filename,
 					line:   pos.Line,
-					rules:  strings.Split(m[1], ","),
-					reason: strings.TrimSpace(m[2]),
+					rules:  rules,
+					reason: reason,
 				}
 				if d, ok := docOf[c]; ok {
 					a.declStart = fset.Position(d.Pos()).Line

@@ -1,0 +1,155 @@
+// Package arenamirror is the golden fixture for the arenamirror rule: a
+// stand-in shard arena (sizer, constructor, carve methods, an event region
+// bound by direct field use) plus components whose ArenaSize/BindArena walks
+// mirror, drop a field on one side, or diverge in order. Mirrors
+// internal/router/arena.go.
+package arenamirror
+
+// events stands in for link.EventArena: sized via Grow in the constructor,
+// bound via direct field use in BindArena.
+type events struct{ slots []int }
+
+func (e *events) Grow(n int) { e.slots = append(e.slots, make([]int, n)...) }
+func (e *events) Bind(n int) {}
+
+// sizer accumulates slot requirements (stand-in for router.ArenaSizer).
+type sizer struct {
+	Flits int
+	Creds int
+	Bools int
+	Ev    int
+}
+
+// arena is the flat backing store (stand-in for router.Arena).
+type arena struct {
+	flits []uint64
+	creds []int
+	bools []bool
+	ev    events
+
+	uF, uC, uB int
+	nextID     int32
+}
+
+// newArena is the allocation half: keyed make elements and the Grow call
+// define the arena-field -> sizer-field mapping the rule mirrors against.
+func newArena(s sizer) *arena {
+	a := &arena{
+		flits: make([]uint64, s.Flits),
+		creds: make([]int, s.Creds),
+		bools: make([]bool, s.Bools),
+	}
+	a.ev.Grow(s.Ev)
+	return a
+}
+
+// claim touches only unmapped protocol state: not a carve method.
+func (a *arena) claim(id int32) {
+	if id != a.nextID {
+		panic("bind out of order")
+	}
+	a.nextID++
+}
+
+func (a *arena) flitSlots(n int) []uint64 {
+	s := a.flits[a.uF : a.uF+n : a.uF+n]
+	a.uF += n
+	return s
+}
+
+func (a *arena) credSlots(n int) []int {
+	s := a.creds[a.uC : a.uC+n : a.uC+n]
+	a.uC += n
+	return s
+}
+
+func (a *arena) boolSlots(n int) []bool {
+	s := a.bools[a.uB : a.uB+n : a.uB+n]
+	a.uB += n
+	return s
+}
+
+// mirrored sizes and carves the same fields in the same order: clean.
+// The mutation test deletes one carve line from this pair and expects the
+// rule to name the orphaned sizer field.
+type mirrored struct {
+	buf   []uint64
+	creds []int
+	used  []bool
+	ports int
+}
+
+func (m *mirrored) ArenaSize(s *sizer) {
+	s.Flits += m.ports * 4
+	s.Creds += m.ports
+	s.Ev += m.ports
+	s.Bools += m.ports
+}
+
+func (m *mirrored) BindArena(a *arena, id int32) {
+	a.claim(id)
+	m.buf = a.flitSlots(m.ports * 4)
+	m.creds = a.credSlots(m.ports)
+	a.ev.Bind(m.ports)
+	m.used = a.boolSlots(m.ports)
+}
+
+// leaky sizes Bools but never carves it: dead slots at the end of the bools
+// array (or a forgotten bind).
+type leaky struct {
+	buf []uint64
+	n   int
+}
+
+func (l *leaky) ArenaSize(s *sizer) {
+	s.Flits += l.n
+	s.Bools += l.n
+}
+
+func (l *leaky) BindArena(a *arena, id int32) { // want `sizes Bools but BindArena never carves it`
+	a.claim(id)
+	l.buf = a.flitSlots(l.n)
+}
+
+// hoarder carves Bools without sizing it: the carve overflows the array at
+// runtime once a neighbor component binds after it.
+type hoarder struct {
+	creds []int
+	used  []bool
+	n     int
+}
+
+func (h *hoarder) ArenaSize(s *sizer) {
+	s.Creds += h.n
+}
+
+func (h *hoarder) BindArena(a *arena, id int32) {
+	a.claim(id)
+	h.creds = a.credSlots(h.n)
+	h.used = a.boolSlots(h.n) // want `carves Bools but ArenaSize never sizes it`
+}
+
+// twisted sizes Flits before Creds but carves them the other way around:
+// both walks must read as the same loop.
+type twisted struct {
+	buf   []uint64
+	creds []int
+	n     int
+}
+
+func (t *twisted) ArenaSize(s *sizer) {
+	s.Flits += t.n
+	s.Creds += t.n
+}
+
+func (t *twisted) BindArena(a *arena, id int32) { // want `carves Creds before Flits but ArenaSize sizes Flits first`
+	a.claim(id)
+	t.creds = a.credSlots(t.n)
+	t.buf = a.flitSlots(t.n)
+}
+
+// sizeOnly has no BindArena: one-sided types (sizing helpers, embedded
+// protocol plumbing) are not checked.
+type sizeOnly struct{ n int }
+
+func (s1 *sizeOnly) ArenaSize(s *sizer) { s.Flits += s1.n }

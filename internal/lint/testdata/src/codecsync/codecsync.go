@@ -1,0 +1,161 @@
+// Package codecsync is the golden fixture for the codecsync rule: encode/
+// decode pairs over stand-in frame structs, mirroring internal/dist/codec.go.
+// The enc/dec cursor types appear on one side each, so pair discovery must
+// intersect down to the payload struct.
+package codecsync
+
+// enc is the append-only encode cursor (stand-in for dist's enc).
+type enc struct{ buf []byte }
+
+func (e *enc) u64(v uint64) { e.buf = append(e.buf, byte(v)) }
+
+// dec is the consuming decode cursor (stand-in for dist's dec).
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) u64() uint64 {
+	v := uint64(d.buf[d.off])
+	d.off++
+	return v
+}
+
+// meta mirrors packet.Meta: a named sub-struct whose leaves the codec must
+// carry, either field by field or by handing &m.Meta to a sub-codec.
+type meta struct {
+	ID  uint64
+	Tag uint64
+}
+
+func encodeMeta(e *enc, mt *meta) {
+	e.u64(mt.ID)
+	e.u64(mt.Tag)
+}
+
+func decodeMeta(d *dec, mt *meta) {
+	mt.ID = d.u64()
+	mt.Tag = d.u64()
+}
+
+// goodMsg is fully carried: direct fields plus a sub-codec for Meta.
+// The mutation test deletes single lines from this pair and expects the
+// rule to name the dropped field.
+type goodMsg struct {
+	A    uint64
+	B    uint64
+	Meta meta
+}
+
+func encodeGoodMsg(e *enc, m *goodMsg) {
+	e.u64(m.A)
+	e.u64(m.B)
+	encodeMeta(e, &m.Meta)
+}
+
+func decodeGoodMsg(d *dec, m *goodMsg) {
+	m.A = d.u64()
+	m.B = d.u64()
+	decodeMeta(d, &m.Meta)
+}
+
+// skewMsg drifted: the encoder dropped Y, the decoder reads X off the wire
+// but never stores it.
+type skewMsg struct {
+	X uint64
+	Y uint64
+}
+
+func encodeSkewMsg(e *enc, m *skewMsg) { // want `field skewMsg\.Y is never read in encodeSkewMsg`
+	e.u64(m.X)
+	e.u64(0)
+}
+
+func decodeSkewMsg(d *dec, m *skewMsg) { // want `field skewMsg\.X is never written in decodeSkewMsg`
+	_ = d.u64()
+	m.Y = d.u64()
+}
+
+// partialMeta carries the sub-struct field by field and dropped one leaf:
+// reading m.Meta.ID must cover only that leaf, not all of Meta.
+type partialMeta struct {
+	Meta meta
+}
+
+func encodePartialMeta(e *enc, m *partialMeta) { // want `field partialMeta\.Meta\.Tag is never read in encodePartialMeta`
+	e.u64(m.Meta.ID)
+}
+
+func decodePartialMeta(d *dec, m *partialMeta) { // want `field partialMeta\.Meta\.Tag is never written in decodePartialMeta`
+	m.Meta.ID = d.u64()
+}
+
+// event mirrors dist's section element structs (flitEvent, creditEvent):
+// carried through range variables, indexed element pointers, and composite
+// literals.
+type event struct {
+	Slot uint64
+	Val  uint64
+}
+
+// frame is the clean section pair: length prefix, element pointer loop on
+// encode, keyed composite literal on decode.
+type frame struct {
+	Seq    uint64
+	Events []event
+}
+
+func encodeFrame(e *enc, f *frame) {
+	e.u64(f.Seq)
+	e.u64(uint64(len(f.Events)))
+	for i := range f.Events {
+		ev := &f.Events[i]
+		e.u64(ev.Slot)
+		e.u64(ev.Val)
+	}
+}
+
+func decodeFrame(d *dec, f *frame) {
+	f.Seq = d.u64()
+	n := int(d.u64())
+	f.Events = f.Events[:0]
+	for ; n > 0; n-- {
+		f.Events = append(f.Events, event{Slot: d.u64(), Val: d.u64()})
+	}
+}
+
+// tick is the drifted section element: the encoder dropped Code, the decoder
+// never reconstructs At.
+type tick struct {
+	At   uint64
+	Code uint64
+}
+
+type journal struct {
+	Ticks []tick
+}
+
+func encodeJournal(e *enc, j *journal) { // want `section field tick\.Code is never read in encodeJournal`
+	e.u64(uint64(len(j.Ticks)))
+	for i := range j.Ticks {
+		e.u64(j.Ticks[i].At)
+	}
+}
+
+func decodeJournal(d *dec, j *journal) { // want `section field tick\.At is never written in decodeJournal`
+	n := int(d.u64())
+	j.Ticks = j.Ticks[:0]
+	for ; n > 0; n-- {
+		j.Ticks = append(j.Ticks, tick{Code: d.u64()})
+	}
+}
+
+// half has an encoder but no decoder: no pair, no checking — one-sided
+// helpers (e.g. debug dumps) are not codecs.
+type half struct {
+	Ignored uint64
+}
+
+func encodeHalf(e *enc, h *half) {
+	e.u64(0)
+}

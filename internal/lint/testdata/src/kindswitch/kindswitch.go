@@ -1,0 +1,133 @@
+// Package kindswitch is the golden fixture for the kindswitch rule: iota
+// enums (dense, module-local, typed) and the switch shapes the rule flags,
+// exempts, and ignores.
+package kindswitch
+
+// kind is a classic iota enum: dense 0..2, typed members.
+type kind int
+
+const (
+	data kind = iota
+	ack
+	grant
+)
+
+// class has an untyped companion count (numClasses mirrors packet.NumClasses):
+// the count is not a member, so covering request/reply is exhaustive.
+type class int
+
+const (
+	request class = iota
+	reply
+)
+
+const numClasses = 2
+
+// cycle mirrors sim.Cycle: a single sparse sentinel, not an enum.
+type cycle int64
+
+const never cycle = 1<<63 - 1
+
+// aliased has a legacy alias for member 0: coverage is by value, so either
+// name counts.
+type aliased int
+
+const (
+	first aliased = iota
+	second
+	legacyFirst aliased = 0
+)
+
+func full(k kind) int {
+	switch k { // all members: clean
+	case data:
+		return 0
+	case ack:
+		return 1
+	case grant:
+		return 2
+	}
+	return -1
+}
+
+func partial(k kind) int {
+	switch k { // want `switch over kind is not exhaustive: missing grant`
+	case data:
+		return 0
+	case ack:
+		return 1
+	}
+	return -1
+}
+
+func twoMissing(k kind) int {
+	switch k { // want `switch over kind is not exhaustive: missing ack, grant`
+	case data:
+		return 0
+	}
+	return -1
+}
+
+func defaulted(k kind) int {
+	switch k { // a default clause handles the residue: clean
+	case data:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func classes(c class) int {
+	switch c { // numClasses is untyped, not a member: clean
+	case request:
+		return 0
+	case reply:
+		return 1
+	}
+	return -1
+}
+
+func sentinel(c cycle) bool {
+	switch c { // cycle is sparse, not an enum: never checked
+	case never:
+		return true
+	}
+	return false
+}
+
+func aliasCovered(a aliased) int {
+	switch a { // legacyFirst == first covers value 0: clean
+	case legacyFirst:
+		return 0
+	case second:
+		return 1
+	}
+	return -1
+}
+
+func nonConstant(k kind, probe kind) int {
+	switch k { // non-constant case: out of scope
+	case probe:
+		return 0
+	}
+	return -1
+}
+
+func condition(k kind) int {
+	switch { // condition-list switch, no tag: ignored
+	case k == data:
+		return 0
+	}
+	return -1
+}
+
+func deliberate(k kind) int {
+	//lint:allow(kindswitch) grant is filtered out by the caller's admission check
+	switch k {
+	case data:
+		return 0
+	case ack:
+		return 1
+	}
+	return -1
+}

@@ -137,12 +137,12 @@ func (r *Router) ArenaSize(s *ArenaSizer) {
 	nvc := packet.NumClasses * r.cfg.VCs
 	s.VCs += len(r.in) * nvc
 	s.Flits += len(r.in) * nvc * r.cfg.BufFlits
-	s.Bools += len(r.in)
 	for i := range r.in {
 		if r.in[i].ch != nil {
 			s.FlitEv += nvc * r.cfg.BufFlits
 		}
 	}
+	s.Bools += len(r.in)
 	for o := range r.out {
 		op := &r.out[o]
 		if op.ch == nil {
